@@ -1,0 +1,86 @@
+// E5 — Listings 7-8: ADI iteration, plain vs pipelined.
+//
+// Per-iteration simulated time and utilization across grid and processor
+// sizes, plus a convergence check that both variants solve the model
+// problem (paper §4: "One can get better speed-ups with the pipelined
+// version").
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "machine/measure.hpp"
+#include "solvers/adi.hpp"
+
+namespace kali {
+namespace {
+
+struct Outcome {
+  double time_per_iter;
+  double utilization;
+  double final_residual;
+};
+
+Outcome run(int px, int py, int n, bool pipelined, int iters) {
+  Machine m(px * py, bench::config_1989());
+  Outcome out{};
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(px, py);
+    Op2 op;
+    op.hx = op.hy = 1.0 / (n + 1);
+    using D2 = DistArray2<double>;
+    const typename D2::Dists dists{DimDist::block_dist(), DimDist::block_dist()};
+    D2 u(ctx, pv, {n, n}, dists, {1, 1});
+    D2 f(ctx, pv, {n, n}, dists);
+    f.fill([&](std::array<int, 2> g) {
+      return rhs2(op, (g[0] + 1) * op.hx, (g[1] + 1) * op.hy);
+    });
+    AdiOptions opts;
+    opts.op = op;
+    opts.tau = adi_default_tau(op, n);
+    opts.pipelined = pipelined;
+    PhaseTimer timer(ctx, pv.group(ctx.rank()));
+    for (int it = 0; it < iters; ++it) {
+      adi_iterate(opts, u, f);
+    }
+    PhaseStats stats = timer.finish();
+    const double r = adi_residual_norm(op, u, f);
+    if (ctx.rank() == 0) {
+      out = {stats.makespan / iters, stats.utilization(px * py), r};
+    }
+  });
+  return out;
+}
+
+}  // namespace
+}  // namespace kali
+
+int main() {
+  using namespace kali;
+  bench::header("E5", "ADI: plain (Listing 7) vs pipelined (Listing 8)",
+                "section 4");
+
+  const int iters = 10;
+  Table t({"grid", "procs", "variant", "sim time/iter", "util",
+           "residual after 10", "pipelined speedup"});
+  for (int n : {32, 64, 128}) {
+    for (auto [px, py] : {std::pair{2, 2}, std::pair{4, 4}}) {
+      if (n / px < 2 || n / py < 2) {
+        continue;
+      }
+      const Outcome plain = run(px, py, n, false, iters);
+      const Outcome piped = run(px, py, n, true, iters);
+      const std::string grid = std::to_string(n) + "x" + std::to_string(n);
+      const std::string procs = std::to_string(px) + "x" + std::to_string(py);
+      t.add_row({grid, procs, "adi (tric)", fmt_time(plain.time_per_iter),
+                 fmt(plain.utilization, 2), fmt_sci(plain.final_residual),
+                 "1.00"});
+      t.add_row({grid, procs, "madi (mtri)", fmt_time(piped.time_per_iter),
+                 fmt(piped.utilization, 2), fmt_sci(piped.final_residual),
+                 fmt(plain.time_per_iter / piped.time_per_iter, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: identical residuals (same arithmetic); the\n"
+            << "pipelined variant is faster, most visibly when each processor\n"
+            << "row/column owns many lines (large n / small p).\n";
+  return 0;
+}

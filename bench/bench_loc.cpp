@@ -1,0 +1,57 @@
+// E7 — the §6 claim: "The message passing version of a program is often
+// five to ten times longer than the sequential version."
+//
+// Measures our own three Jacobi variants exactly as the claim is phrased:
+// code lines (blanks and comments excluded).  The KF1 version is the
+// paper's remedy — it should sit near the sequential length.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/loc_counter.hpp"
+
+int main() {
+  using namespace kali;
+  bench::header("E7", "Source length: sequential vs KF1 vs message passing",
+                "section 6 code-length claim");
+
+  const std::string root = KALITP_SOURCE_DIR;
+  struct Entry {
+    const char* label;
+    const char* path;
+  };
+  const Entry entries[] = {
+      {"jacobi sequential (Listing 1)", "/src/solvers/jacobi_seq.cpp"},
+      {"jacobi KF1 (Listing 3)", "/src/solvers/jacobi_kf1.cpp"},
+      {"jacobi message passing (Listing 2)", "/src/solvers/jacobi_mp.cpp"},
+  };
+
+  const LocStats seq = count_loc_file(root + entries[0].path);
+  Table t({"variant", "code lines", "comment", "blank", "vs sequential"});
+  for (const auto& e : entries) {
+    const LocStats s = count_loc_file(root + e.path);
+    t.add_row({e.label, std::to_string(s.code), std::to_string(s.comment),
+               std::to_string(s.blank),
+               fmt(static_cast<double>(s.code) / seq.code, 2)});
+  }
+  t.print(std::cout);
+
+  // The same comparison for the tridiagonal kernel: sequential Thomas vs
+  // the full distributed substructured solver (the machinery a programmer
+  // would otherwise write by hand).
+  const LocStats thomas = count_loc_file(root + "/src/kernels/thomas.cpp");
+  const LocStats tri = count_loc_file(root + "/src/kernels/tri.cpp");
+  const LocStats pipe = count_loc_file(root + "/src/kernels/tri_pipeline.cpp");
+  Table t2({"kernel", "code lines", "vs sequential"});
+  t2.add_row({"Thomas (sequential)", std::to_string(thomas.code), "1.00"});
+  t2.add_row({"substructured tri + pipeline (hand-parallel equivalent)",
+              std::to_string(tri.code + pipe.code),
+              fmt(static_cast<double>(tri.code + pipe.code) / thomas.code, 2)});
+  t2.print(std::cout);
+
+  std::cout << "\npaper band: message passing is 5-10x the sequential length\n"
+            << "for whole programs; our node-program translation of Listing 2\n"
+            << "shows the same direction (the KF1 version stays near 1x), and\n"
+            << "the kernel comparison shows where the factor comes from: the\n"
+            << "tree communication a KF1 user never writes.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E3 — Figure 5: mapping of the data-flow graph onto the processor array.
+//
+// Renders the step-by-processor activity matrix of the substructured solver
+// under the fold/unshuffle mapping: one tridiagonal solve (the Figure 5
+// shape), then a pipelined multi-system run showing how the mapping keeps
+// processors busy when systems are staggered (the reason the paper gives
+// for choosing it).
+//
+// Legend:  R local reduction   r 4-row merge   T root Thomas solve
+//          b substitution      B local substitution   . idle
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kernels/mtri.hpp"
+#include "kernels/tri.hpp"
+
+namespace kali {
+namespace {
+
+void single_system(int p, int n) {
+  ActivityTrace trace(tri_trace_steps(p), p);
+  Machine m(p, bench::config_1989());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    DistArray1<double> f(ctx, pv, {n}, {DimDist::block_dist()});
+    DistArray1<double> x(ctx, pv, {n}, {DimDist::block_dist()});
+    f.fill([](std::array<int, 1> g) { return 1.0 + 0.01 * g[0]; });
+    TriOptions opts;
+    opts.trace = &trace;
+    tric(-1.0, 4.0, -1.0, f, x, opts);
+  });
+  std::vector<std::string> labels;
+  const int k = (trace.nsteps() - 1) / 2;
+  for (int q = 0; q < trace.nsteps(); ++q) {
+    if (q == 0) {
+      labels.push_back("reduce local");
+    } else if (q < k) {
+      labels.push_back("merge lvl " + std::to_string(q + 1));
+    } else if (q == k) {
+      labels.push_back("thomas root");
+    } else if (q < 2 * k) {
+      labels.push_back("subst lvl " + std::to_string(2 * k - q + 1));
+    } else {
+      labels.push_back("subst local");
+    }
+  }
+  std::cout << trace.render(labels) << "\n";
+}
+
+void pipelined_systems(int p, int nsys, int n) {
+  ActivityTrace trace(mtri_trace_steps(nsys, p), p);
+  Machine m(p, bench::config_1989());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    using D2 = DistArray2<double>;
+    const typename D2::Dists dists{DimDist::star(), DimDist::block_dist()};
+    D2 F(ctx, pv, {nsys, n}, dists), X(ctx, pv, {nsys, n}, dists);
+    F.fill([](std::array<int, 2> g) { return 1.0 + 0.01 * g[1] + 0.1 * g[0]; });
+    MtriOptions opts;
+    opts.trace = &trace;
+    mtri_const(-1.0, 4.0, -1.0, F, X, 0, opts);
+  });
+  std::vector<std::string> labels;
+  for (int q = 0; q < trace.nsteps(); ++q) {
+    labels.push_back("global step " + std::to_string(q));
+  }
+  std::cout << trace.render(labels) << "\n";
+  Table t({"global step", "active procs"});
+  for (int q = 0; q < trace.nsteps(); ++q) {
+    t.add_row({std::to_string(q), std::to_string(trace.active_count(q))});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace kali
+
+int main() {
+  using namespace kali;
+  bench::header("E3", "Shuffle/unshuffle mapping of the data-flow graph",
+                "Figure 5 (and its pipelined use, Listing 6)");
+
+  std::cout << "--- single solve, p = 8 (Figure 5 proper) ---\n";
+  single_system(8, 256);
+
+  std::cout << "--- pipelined, 6 systems, p = 8: the idle triangle fills ---\n";
+  pipelined_systems(8, 6, 256);
+
+  std::cout << "\npaper claim: this mapping \"is advantageous when there are\n"
+            << "multiple tridiagonal systems to be solved\" — with systems\n"
+            << "staggered one step apart, nearly every processor is busy at\n"
+            << "every interior step (compare the single-solve triangle).\n";
+  return 0;
+}

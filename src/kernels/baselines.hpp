@@ -1,0 +1,39 @@
+// Alternative parallel tridiagonal solvers, for the E10 comparison bench.
+//
+// The paper (§3) notes "a wide variety of parallel tridiagonal algorithms in
+// the literature" (ref [8], Johnsson).  We implement the classic
+// alternatives the substructured algorithm competes with:
+//
+//  * gather_thomas      — ship the whole system to one processor, solve
+//                         sequentially, scatter the solution.  The trivial
+//                         baseline; wins only for tiny p or huge latency.
+//  * pipelined_thomas   — chained elimination: the Thomas recurrence flows
+//                         through the processors in block order (two carry
+//                         messages per processor).  Minimal arithmetic but
+//                         serial: O(n) critical path for one system.
+//  * cyclic_reduction   — parallel cyclic reduction (PCR): log2(n) steps,
+//                         every row active each step.  Uses the
+//                         inspector/executor (GatherPlan) for the
+//                         distance-2^s row fetches — the "runtime gather"
+//                         communication schedule of paper ref [17].
+//
+// All take the same block-distributed arrays as kali::tri.
+#pragma once
+
+#include "runtime/dist_array.hpp"
+
+namespace kali {
+
+void gather_thomas(const DistArray1<double>& b, const DistArray1<double>& a,
+                   const DistArray1<double>& c, const DistArray1<double>& f,
+                   DistArray1<double>& x);
+
+void pipelined_thomas(const DistArray1<double>& b, const DistArray1<double>& a,
+                      const DistArray1<double>& c, const DistArray1<double>& f,
+                      DistArray1<double>& x);
+
+void cyclic_reduction(const DistArray1<double>& b, const DistArray1<double>& a,
+                      const DistArray1<double>& c, const DistArray1<double>& f,
+                      DistArray1<double>& x);
+
+}  // namespace kali

@@ -1,0 +1,59 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  KALI_CHECK(n >= 1 && (n & (n - 1)) == 0, "fft: length must be 2^k");
+  if (n == 1) {
+    return;
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& z : data) {
+      z *= inv_n;
+    }
+  }
+}
+
+double fft_flops(int n) {
+  if (n <= 1) {
+    return 0.0;
+  }
+  return kFftFlopsFactor * static_cast<double>(n) *
+         std::log2(static_cast<double>(n));
+}
+
+}  // namespace kali

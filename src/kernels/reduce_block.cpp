@@ -1,0 +1,56 @@
+#include "kernels/reduce_block.hpp"
+
+#include "support/check.hpp"
+
+namespace kali {
+
+void reduce_block(std::span<double> b, std::span<double> a, std::span<double> c,
+                  std::span<double> f) {
+  const std::size_t m = a.size();
+  KALI_CHECK(m >= 2, "reduce_block needs at least 2 rows");
+  KALI_CHECK(b.size() == m && c.size() == m && f.size() == m,
+             "reduce_block: size mismatch");
+
+  // Forward sweep (paper: rows l+2 .. u): eliminate the coupling of row j to
+  // row j-1; the fill-in column is x_0, accumulated in b[j].  Row 1 already
+  // couples to x_0 through its original b[1].
+  for (std::size_t j = 2; j < m; ++j) {
+    KALI_CHECK(a[j - 1] != 0.0, "reduce_block: zero pivot (forward)");
+    const double factor = b[j] / a[j - 1];
+    a[j] -= factor * c[j - 1];
+    f[j] -= factor * f[j - 1];
+    b[j] = -factor * b[j - 1];  // fill-in: coupling to x_0
+  }
+
+  // Backward sweep (paper: rows u-2 .. l): eliminate the coupling of row j
+  // to row j+1; the fill-in column is x_{m-1}, accumulated in c[j].  Row m-2
+  // already couples to x_{m-1} through its original c[m-2].
+  for (std::size_t j = m - 2; j-- > 0;) {
+    KALI_CHECK(a[j + 1] != 0.0, "reduce_block: zero pivot (backward)");
+    const double factor = c[j] / a[j + 1];
+    f[j] -= factor * f[j + 1];
+    c[j] = -factor * c[j + 1];  // fill-in: coupling to x_{m-1}
+    if (j == 0) {
+      // Row 1's x_0 coefficient is b[1]: it folds into row 0's diagonal.
+      a[0] -= factor * b[1];
+    } else {
+      b[j] -= factor * b[j + 1];
+    }
+  }
+}
+
+void back_substitute_block(std::span<const double> b, std::span<const double> a,
+                           std::span<const double> c, std::span<const double> f,
+                           double x0, double xm1, std::span<double> x) {
+  const std::size_t m = a.size();
+  KALI_CHECK(m >= 2, "back_substitute_block needs at least 2 rows");
+  KALI_CHECK(x.size() == m, "back_substitute_block: size mismatch");
+  x[0] = x0;
+  x[m - 1] = xm1;
+  for (std::size_t j = 1; j + 1 < m; ++j) {
+    KALI_CHECK(a[j] != 0.0, "back_substitute_block: zero diagonal");
+    x[j] = (f[j] - b[j] * x0 - c[j] * xm1) / a[j];
+  }
+}
+
+}  // namespace kali

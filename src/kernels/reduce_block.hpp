@@ -1,0 +1,37 @@
+// The paper's `reduce` routine: two-sided elimination of a block of rows of
+// a tridiagonal system (Figures 1 and 2).
+//
+// Given rows 0..m-1 of a tridiagonal system (each row i:
+// b[i] x_{i-1} + a[i] x_i + c[i] x_{i+1} = f[i], indices relative to the
+// block; b[0] couples to the row left of the block, c[m-1] to the right),
+// eliminate the sub-diagonal forward from row 2 and the super-diagonal
+// backward from row m-2.  In place, with the fill-in reusing b/c storage:
+//
+//   row 0     : b[0] x_left + a[0] x_0 + c[0] x_{m-1}     = f[0]
+//   row m-1   : b[m-1] x_0  + a[m-1] x_{m-1} + c[m-1] x_right = f[m-1]
+//   rows 1..m-2: b[j] x_0   + a[j] x_j + c[j] x_{m-1}     = f[j]
+//
+// Rows 0 and m-1 are the block's boundary pair: over all blocks, the pairs
+// form a tridiagonal system of 2p equations (Figure 1's highlighted rows).
+// The interior rows give the Figure 4 substitution formulas.
+#pragma once
+
+#include <span>
+
+namespace kali {
+
+/// Approximate flops per row of reduce_block (two sweeps).
+inline constexpr double kReduceFlopsPerRow = 12.0;
+
+/// Two-sided block elimination, in place.  Requires m >= 2 and a
+/// factorization-stable system (e.g. diagonally dominant).
+void reduce_block(std::span<double> b, std::span<double> a,
+                  std::span<double> c, std::span<double> f);
+
+/// Figure 4: given the boundary solutions x0 and xm1 of a reduced block,
+/// fill the interior x[1..m-2] (x[0] and x[m-1] are also written).
+void back_substitute_block(std::span<const double> b, std::span<const double> a,
+                           std::span<const double> c, std::span<const double> f,
+                           double x0, double xm1, std::span<double> x);
+
+}  // namespace kali

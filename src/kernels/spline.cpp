@@ -1,0 +1,81 @@
+#include "kernels/spline.hpp"
+
+#include <cmath>
+
+#include "kernels/thomas.hpp"
+#include "kernels/tri.hpp"
+#include "machine/context.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+std::vector<double> spline_moments(std::span<const double> y, double h) {
+  const std::size_t n = y.size();
+  KALI_CHECK(n >= 3, "spline needs at least 3 knots");
+  KALI_CHECK(h > 0.0, "knot spacing must be positive");
+  std::vector<double> b(n, 1.0), a(n, 4.0), c(n, 1.0), f(n, 0.0), m(n, 0.0);
+  const double s = 6.0 / (h * h);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    f[i] = s * (y[i + 1] - 2.0 * y[i] + y[i - 1]);
+  }
+  // Natural boundary: M[0] = M[n-1] = 0.
+  a[0] = 1.0;
+  c[0] = 0.0;
+  a[n - 1] = 1.0;
+  b[n - 1] = 0.0;
+  thomas_solve(b, a, c, f, m);
+  return m;
+}
+
+double spline_eval(std::span<const double> y, std::span<const double> m,
+                   double x0, double h, double x) {
+  const std::size_t n = y.size();
+  KALI_CHECK(m.size() == n, "spline_eval: size mismatch");
+  const double t = (x - x0) / h;
+  auto i = static_cast<std::ptrdiff_t>(std::floor(t));
+  i = std::max<std::ptrdiff_t>(0, std::min<std::ptrdiff_t>(i, static_cast<std::ptrdiff_t>(n) - 2));
+  const auto u = static_cast<std::size_t>(i);
+  const double xa = x0 + static_cast<double>(i) * h;
+  const double A = (xa + h - x) / h;
+  const double B = (x - xa) / h;
+  return A * y[u] + B * y[u + 1] +
+         ((A * A * A - A) * m[u] + (B * B * B - B) * m[u + 1]) * (h * h) / 6.0;
+}
+
+void spline_fit(const DistArray1<double>& y, double h, DistArray1<double>& moments) {
+  KALI_CHECK(y.extent(0) == moments.extent(0), "spline_fit: extent mismatch");
+  if (!moments.participating()) {
+    return;
+  }
+  Context& ctx = moments.context();
+  const int n = y.extent(0);
+  KALI_CHECK(n >= 3, "spline needs at least 3 knots");
+  const ProcView& pv = moments.view();
+
+  // Halo'd copy of y for the second-difference right-hand side.
+  DistArray1<double> yh(ctx, pv, {n}, {DimDist::block_dist()}, {1});
+  yh.fill([&](std::array<int, 1> g) { return y.at(g); });
+  yh.exchange_halo();
+
+  DistArray1<double> b(ctx, pv, {n}, {DimDist::block_dist()});
+  DistArray1<double> a(ctx, pv, {n}, {DimDist::block_dist()});
+  DistArray1<double> c(ctx, pv, {n}, {DimDist::block_dist()});
+  DistArray1<double> f(ctx, pv, {n}, {DimDist::block_dist()});
+  const double s = 6.0 / (h * h);
+  b.fill([&](std::array<int, 1> g) { return g[0] == n - 1 ? 0.0 : 1.0; });
+  c.fill([&](std::array<int, 1> g) { return g[0] == 0 ? 0.0 : 1.0; });
+  a.fill([&](std::array<int, 1> g) {
+    return (g[0] == 0 || g[0] == n - 1) ? 1.0 : 4.0;
+  });
+  f.fill([&](std::array<int, 1> g) {
+    const int i = g[0];
+    if (i == 0 || i == n - 1) {
+      return 0.0;
+    }
+    return s * (yh.at_halo({i + 1}) - 2.0 * yh.at_halo({i}) + yh.at_halo({i - 1}));
+  });
+  ctx.compute(4.0 * moments.local_count(0));
+  tri(b, a, c, f, moments);
+}
+
+}  // namespace kali

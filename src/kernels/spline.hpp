@@ -1,0 +1,26 @@
+// Natural cubic spline fitting — the second of the paper's named 1-D
+// kernels.  The distributed variant assembles the (1, 4, 1) moment system
+// and solves it with the substructured parallel solver, exactly the
+// composition the paper advocates: 1-D kernels as distributed procedures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/dist_array.hpp"
+
+namespace kali {
+
+/// Second derivatives ("moments") M of the natural cubic spline through
+/// (x0 + i*h, y[i]), i = 0..n-1.  M[0] = M[n-1] = 0.
+std::vector<double> spline_moments(std::span<const double> y, double h);
+
+/// Evaluate the spline at x (x0 is the first knot's abscissa).
+double spline_eval(std::span<const double> y, std::span<const double> m,
+                   double x0, double h, double x);
+
+/// Distributed spline fit: y and moments share a 1-D block distribution;
+/// the moment system is solved with kali::tri.  Collective over the view.
+void spline_fit(const DistArray1<double>& y, double h, DistArray1<double>& moments);
+
+}  // namespace kali

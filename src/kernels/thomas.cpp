@@ -1,0 +1,60 @@
+#include "kernels/thomas.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+void thomas_solve(std::span<const double> b, std::span<const double> a,
+                  std::span<const double> c, std::span<const double> f,
+                  std::span<double> x) {
+  const std::size_t n = a.size();
+  KALI_CHECK(n >= 1, "empty system");
+  KALI_CHECK(b.size() == n && c.size() == n && f.size() == n && x.size() == n,
+             "thomas: size mismatch");
+  std::vector<double> cp(n), fp(n);
+  KALI_CHECK(a[0] != 0.0, "thomas: zero pivot");
+  cp[0] = c[0] / a[0];
+  fp[0] = f[0] / a[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = a[i] - b[i] * cp[i - 1];
+    KALI_CHECK(denom != 0.0, "thomas: zero pivot");
+    cp[i] = c[i] / denom;
+    fp[i] = (f[i] - b[i] * fp[i - 1]) / denom;
+  }
+  x[n - 1] = fp[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = fp[i] - cp[i] * x[i + 1];
+  }
+}
+
+void thomas_solve_const(double lo, double diag, double up,
+                        std::span<const double> f, std::span<double> x) {
+  const std::size_t n = f.size();
+  std::vector<double> b(n, lo), a(n, diag), c(n, up);
+  thomas_solve(b, a, c, f, x);
+}
+
+void thomas_solve_strided(Strided<const double> b, Strided<const double> a,
+                          Strided<const double> c, Strided<const double> f,
+                          Strided<double> x) {
+  const int n = a.n;
+  KALI_CHECK(b.n == n && c.n == n && f.n == n && x.n == n,
+             "thomas: size mismatch");
+  std::vector<double> bb(static_cast<std::size_t>(n)), aa(bb.size()),
+      cc(bb.size()), ff(bb.size()), xx(bb.size());
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    bb[u] = b[i];
+    aa[u] = a[i];
+    cc[u] = c[i];
+    ff[u] = f[i];
+  }
+  thomas_solve(bb, aa, cc, ff, xx);
+  for (int i = 0; i < n; ++i) {
+    x[i] = xx[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace kali

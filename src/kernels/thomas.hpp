@@ -1,0 +1,31 @@
+// Sequential tridiagonal solver (the Thomas algorithm) — the paper's
+// `seqtri` kernel and the root solve of the substructured algorithm.
+#pragma once
+
+#include <span>
+
+#include "runtime/dist_array.hpp"
+
+namespace kali {
+
+/// Approximate flops per row of a Thomas solve (used for cost charging).
+inline constexpr double kThomasFlopsPerRow = 8.0;
+
+/// Solve the tridiagonal system
+///   b[i] x[i-1] + a[i] x[i] + c[i] x[i+1] = f[i],   i = 0 .. n-1
+/// (b[0] and c[n-1] are ignored).  Inputs are untouched; the system must
+/// admit factorization without pivoting (e.g. diagonally dominant).
+void thomas_solve(std::span<const double> b, std::span<const double> a,
+                  std::span<const double> c, std::span<const double> f,
+                  std::span<double> x);
+
+/// Constant-coefficient convenience: lo x[i-1] + diag x[i] + up x[i+1] = f.
+void thomas_solve_const(double lo, double diag, double up,
+                        std::span<const double> f, std::span<double> x);
+
+/// Strided variants for rows/columns of multidimensional local slabs.
+void thomas_solve_strided(Strided<const double> b, Strided<const double> a,
+                          Strided<const double> c, Strided<const double> f,
+                          Strided<double> x);
+
+}  // namespace kali

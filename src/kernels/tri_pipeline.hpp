@@ -1,0 +1,90 @@
+// Per-system state machine of the substructured ("spike"-variant)
+// tridiagonal algorithm of paper §3, shared by the one-shot solver (`tri`,
+// Listing 4) and the pipelined multi-system solver (`mtri`, Listing 6).
+//
+// The data-flow graph (Figure 3) is a binary reduction tree followed by its
+// mirror-image substitution tree, mapped onto the processor array by the
+// fold/unshuffle mapping of Figure 5: the merge of level sigma runs on
+// processors whose view index is a multiple of 2^(sigma-1); the right-hand
+// source pair travels a distance of 2^(sigma-2) (a single hypercube hop).
+//
+// Pipeline positions for p = 2^k processors (p > 1):
+//   pos 0            stage-1 local reduction (all processors)   'R'
+//   pos 1 .. k-1     4-row merge, level sigma = pos+1           'r'
+//   pos k            final 4-row Thomas solve on processor 0    'T'
+//   pos k+1 .. 2k-1  substitution, level sigma = 2k-pos+1       'b'
+//   pos 2k           local interior substitution (all)          'B'
+// For p == 1 there is a single position: a local Thomas solve.
+//
+// Every position consumes only messages sent at the previous position, so
+// any interleaving of positions across systems (the Listing 6 pipeline) is
+// deadlock-free.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "kernels/reduce_block.hpp"
+#include "kernels/thomas.hpp"
+#include "machine/trace.hpp"
+#include "runtime/proc_view.hpp"
+
+namespace kali::detail {
+
+inline constexpr int kTagTriBase = 1 << 23;
+inline constexpr double kSubstFlopsPerRow = 5.0;
+
+/// log2 of a power of two (checked).
+int checked_log2(int p);
+
+class TriPipeline {
+ public:
+  /// `sys_tag` must be unique per in-flight system (message namespace).
+  TriPipeline(Context& ctx, const ProcView& pv, int sys_tag);
+
+  /// Load this member's rows (consumed).  Call before running position 0.
+  void set_local(std::vector<double> b, std::vector<double> a,
+                 std::vector<double> c, std::vector<double> f);
+
+  /// Number of pipeline positions (2k+1, or 1 for a single processor).
+  [[nodiscard]] int positions() const { return p_ == 1 ? 1 : 2 * k_ + 1; }
+
+  /// Execute pipeline position q (0-based).  Collective in the staggered
+  /// sense: every member must eventually run every position in order.
+  /// If `trace` is non-null, activity is marked at row `trace_step`.
+  void run_position(int q, ActivityTrace* trace = nullptr, int trace_step = 0);
+
+  /// Local solution values (valid after the final position).
+  [[nodiscard]] const std::vector<double>& solution() const { return x_; }
+
+  [[nodiscard]] bool member() const { return member_; }
+
+ private:
+  struct Pair {  // two boundary rows, each (b, a, c, f)
+    std::array<double, 8> v{};
+  };
+
+  void send_pair(int peer_index);
+  Pair recv_pair(int peer_index);
+  void send_sol(int peer_index, double lo, double hi);
+  std::array<double, 2> recv_sol(int peer_index);
+  void mark(ActivityTrace* trace, int step, char symbol) const;
+
+  Context* ctx_;
+  ProcView pv_;
+  int p_ = 1;
+  int me_ = 0;  // linear index within the view
+  int k_ = 0;
+  int tag_pair_;
+  int tag_sol_;
+  bool member_ = false;
+
+  int mloc_ = 0;
+  std::vector<double> b_, a_, c_, f_;  // stage-1 reduced local rows
+  Pair pair_{};                        // current boundary pair
+  std::vector<std::array<double, 16>> saved_;  // merge blocks per level
+  double xl_ = 0.0, xu_ = 0.0;                 // current pair solution
+  std::vector<double> x_;                      // local solution
+};
+
+}  // namespace kali::detail

@@ -1,0 +1,38 @@
+#include "machine/collectives.hpp"
+
+#include <algorithm>
+
+namespace kali {
+
+void barrier(Context& ctx, const Group& g) {
+  const int me = g.index();
+  char token = 0;
+  for (int which = 1; which >= 0; --which) {
+    const int c = detail::tree_child(me, which);
+    if (c < g.size()) {
+      (void)ctx.recv<char>(g.rank_at(c), kTagBarrierUp);
+    }
+  }
+  if (me != 0) {
+    ctx.send(g.rank_at(detail::tree_parent(me)), kTagBarrierUp, token);
+    token = ctx.recv<char>(g.rank_at(detail::tree_parent(me)), kTagBarrierDown);
+  }
+  for (int which = 0; which < 2; ++which) {
+    const int c = detail::tree_child(me, which);
+    if (c < g.size()) {
+      ctx.send(g.rank_at(c), kTagBarrierDown, token);
+    }
+  }
+}
+
+double sync_clocks(Context& ctx, const Group& g) {
+  // A *measurement* barrier: every member's clock is set to the maximum of
+  // the clocks at entry.  The synchronization traffic itself is excluded
+  // from the model (clocks may be pulled back to the aligned value), so
+  // phases bracketed by sync_clocks are measured exactly.
+  const double aligned = allreduce_max(ctx, g, ctx.clock());
+  ctx.proc().set_clock(aligned);
+  return aligned;
+}
+
+}  // namespace kali

@@ -1,0 +1,138 @@
+// Tree-based collectives over a Group, built purely from point-to-point
+// messages — exactly what a KF1 compiler would emit for replicated control
+// flow on a loosely coupled machine.
+//
+// All members of the group must call the same collective in the same order
+// (standard SPMD discipline).  Tags live in a reserved range so user
+// point-to-point traffic (tags < kCollectiveTagBase) can never collide.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/context.hpp"
+#include "machine/group.hpp"
+
+namespace kali {
+
+inline constexpr int kCollectiveTagBase = 1 << 24;
+inline constexpr int kTagReduceUp = kCollectiveTagBase + 1;
+inline constexpr int kTagBcastDown = kCollectiveTagBase + 2;
+inline constexpr int kTagGather = kCollectiveTagBase + 3;
+inline constexpr int kTagBarrierUp = kCollectiveTagBase + 4;
+inline constexpr int kTagBarrierDown = kCollectiveTagBase + 5;
+
+namespace detail {
+inline int tree_parent(int i) { return (i - 1) / 2; }
+inline int tree_child(int i, int which) { return 2 * i + 1 + which; }
+}  // namespace detail
+
+/// Synchronize all group members (empty-payload reduce + broadcast).
+void barrier(Context& ctx, const Group& g);
+
+/// Broadcast `data` from the member at `root_index` to all members.
+template <class T>
+void broadcast(Context& ctx, const Group& g, int root_index, std::span<T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KALI_CHECK(root_index >= 0 && root_index < g.size(), "broadcast: bad root");
+  // Re-index the tree so the root is node 0.
+  auto pos = [&](int i) { return (i - root_index + g.size()) % g.size(); };
+  auto unpos = [&](int i) { return (i + root_index) % g.size(); };
+  const int me = pos(g.index());
+  if (me != 0) {
+    ctx.recv_into(g.rank_at(unpos(detail::tree_parent(me))), kTagBcastDown,
+                  data);
+  }
+  for (int which = 0; which < 2; ++which) {
+    const int c = detail::tree_child(me, which);
+    if (c < g.size()) {
+      ctx.send_span(g.rank_at(unpos(c)), kTagBcastDown,
+                    std::span<const T>(data.data(), data.size()));
+    }
+  }
+}
+
+/// Element-wise tree reduction of `data` into the member at `root_index`.
+/// On return, only the root's `data` holds the reduced values.
+template <class T, class Op>
+void reduce(Context& ctx, const Group& g, int root_index, std::span<T> data, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KALI_CHECK(root_index >= 0 && root_index < g.size(), "reduce: bad root");
+  auto pos = [&](int i) { return (i - root_index + g.size()) % g.size(); };
+  auto unpos = [&](int i) { return (i + root_index) % g.size(); };
+  const int me = pos(g.index());
+  for (int which = 1; which >= 0; --which) {
+    const int c = detail::tree_child(me, which);
+    if (c < g.size()) {
+      std::vector<T> incoming = ctx.recv_vec<T>(g.rank_at(unpos(c)), kTagReduceUp);
+      KALI_CHECK(incoming.size() == data.size(), "reduce size mismatch");
+      for (std::size_t k = 0; k < data.size(); ++k) {
+        data[k] = op(data[k], incoming[k]);
+      }
+      ctx.compute(static_cast<double>(data.size()));
+    }
+  }
+  if (me != 0) {
+    ctx.send_span(g.rank_at(unpos(detail::tree_parent(me))), kTagReduceUp,
+                  std::span<const T>(data.data(), data.size()));
+  }
+}
+
+/// Reduce to member 0, then broadcast: all members end with the result.
+template <class T, class Op>
+void allreduce(Context& ctx, const Group& g, std::span<T> data, Op op) {
+  reduce(ctx, g, 0, data, op);
+  broadcast(ctx, g, 0, data);
+}
+
+template <class T>
+T allreduce_sum(Context& ctx, const Group& g, T value) {
+  allreduce(ctx, g, std::span<T>(&value, 1), [](T a, T b) { return a + b; });
+  return value;
+}
+
+template <class T>
+T allreduce_max(Context& ctx, const Group& g, T value) {
+  allreduce(ctx, g, std::span<T>(&value, 1),
+            [](T a, T b) { return a > b ? a : b; });
+  return value;
+}
+
+/// Gather variable-length contributions to `root_index`.  Returns, on the
+/// root only, the concatenation in group order; elsewhere an empty vector.
+template <class T>
+std::vector<T> gather(Context& ctx, const Group& g, int root_index,
+                      std::span<const T> mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KALI_CHECK(root_index >= 0 && root_index < g.size(), "gather: bad root");
+  if (g.index() != root_index) {
+    ctx.send_span(g.rank_at(root_index), kTagGather, mine);
+    return {};
+  }
+  std::vector<T> out(mine.begin(), mine.end());
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(g.size()));
+  for (int i = 0; i < g.size(); ++i) {
+    if (i == root_index) {
+      continue;
+    }
+    parts[static_cast<std::size_t>(i)] =
+        ctx.recv_vec<T>(g.rank_at(i), kTagGather);
+  }
+  out.clear();
+  for (int i = 0; i < g.size(); ++i) {
+    if (i == root_index) {
+      out.insert(out.end(), mine.begin(), mine.end());
+    } else {
+      const auto& p = parts[static_cast<std::size_t>(i)];
+      out.insert(out.end(), p.begin(), p.end());
+    }
+  }
+  return out;
+}
+
+/// Align the simulated clocks of all members to their maximum (a barrier in
+/// model time).  Returns the aligned clock value.
+double sync_clocks(Context& ctx, const Group& g);
+
+}  // namespace kali

@@ -1,0 +1,39 @@
+// Cost-model and topology configuration for the virtual loosely coupled
+// machine.
+//
+// The paper targets 1989 distributed-memory machines (hypercube/mesh class,
+// e.g. Intel iPSC).  Since no such hardware (nor MPI) is available here, the
+// machine layer simulates one: every virtual processor carries a simulated
+// clock advanced by a LogP-style model.  Defaults below approximate a 1989
+// hypercube node: ~10 MFLOPS, ~100 us message latency, ~2.5 MB/s links.
+#pragma once
+
+namespace kali {
+
+enum class Topology {
+  kComplete,   ///< every pair one hop (idealized crossbar)
+  kRing,       ///< 1-D ring, hop count = cyclic distance
+  kMesh2D,     ///< near-square 2-D mesh, hop count = Manhattan distance
+  kHypercube,  ///< hop count = Hamming distance of ranks
+};
+
+struct MachineConfig {
+  // --- computation ---
+  double flop_time = 1.0e-7;  ///< seconds per flop (10 MFLOPS)
+
+  // --- communication (Hockney/LogP-style) ---
+  double send_overhead = 10.0e-6;  ///< sender busy time per message
+  double recv_overhead = 10.0e-6;  ///< receiver busy time per message
+  double latency = 80.0e-6;        ///< alpha: first-hop wire latency
+  double per_hop = 10.0e-6;        ///< extra latency per additional hop
+  double byte_time = 0.4e-6;       ///< beta: seconds per payload byte
+
+  Topology topology = Topology::kHypercube;
+
+  // --- harness behaviour (not part of the cost model) ---
+  /// Wall-clock seconds a blocking recv waits before failing.  This is a
+  /// deadlock guard for the test-suite; a correct program never hits it.
+  double recv_timeout_wall = 60.0;
+};
+
+}  // namespace kali

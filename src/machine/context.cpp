@@ -1,0 +1,52 @@
+#include "machine/context.hpp"
+
+#include <algorithm>
+
+namespace kali {
+
+void Context::compute(double flops) {
+  KALI_CHECK(flops >= 0, "flops must be non-negative");
+  self_->counters().flops += flops;
+  const double dt = flops * config().flop_time;
+  self_->counters().compute_time += dt;
+  self_->set_clock(self_->clock() + dt);
+}
+
+void Context::charge_seconds(double seconds) {
+  KALI_CHECK(seconds >= 0, "time must be non-negative");
+  self_->counters().compute_time += seconds;
+  self_->set_clock(self_->clock() + seconds);
+}
+
+void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
+  KALI_CHECK(dst >= 0 && dst < nprocs(), "send: bad destination rank");
+  auto& cnt = self_->counters();
+  cnt.overhead_time += config().send_overhead;
+  self_->set_clock(self_->clock() + config().send_overhead);
+
+  Message m;
+  m.src = rank();
+  m.tag = tag;
+  m.send_time = self_->clock();
+  m.payload.assign(data.begin(), data.end());
+  cnt.msgs_sent += 1;
+  cnt.bytes_sent += m.payload.size();
+  machine_->proc(dst).mailbox().push(std::move(m));
+}
+
+Message Context::recv_message(int src, int tag) {
+  Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall);
+  auto& cnt = self_->counters();
+  const double arrival = m.send_time + machine_->wire_latency(m.src, rank()) +
+                         static_cast<double>(m.size_bytes()) * config().byte_time;
+  const double before = self_->clock();
+  const double ready = std::max(before, arrival);
+  cnt.wait_time += ready - before;
+  cnt.overhead_time += config().recv_overhead;
+  self_->set_clock(ready + config().recv_overhead);
+  cnt.msgs_recv += 1;
+  cnt.bytes_recv += m.size_bytes();
+  return m;
+}
+
+}  // namespace kali

@@ -1,0 +1,95 @@
+// Context: a processor's handle to the machine from inside an SPMD program.
+//
+// All communication and all simulated-time accounting flows through this
+// class.  The cost model:
+//   send:  clock += send_overhead;  message timestamped with clock
+//   recv:  arrival = send_time + latency_eff + bytes * byte_time
+//          clock   = max(clock, arrival) + recv_overhead
+//   compute(f): clock += f * flop_time
+// which makes the final per-processor clocks a causally consistent schedule
+// of the program on the modeled hardware, independent of host scheduling.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+class Context {
+ public:
+  Context(Machine& m, Processor& p) : machine_(&m), self_(&p) {}
+
+  [[nodiscard]] int rank() const { return self_->rank(); }
+  [[nodiscard]] int nprocs() const { return machine_->size(); }
+  [[nodiscard]] Machine& machine() { return *machine_; }
+  [[nodiscard]] const MachineConfig& config() const { return machine_->config(); }
+  [[nodiscard]] Processor& proc() { return *self_; }
+
+  // --- simulated time ---
+  [[nodiscard]] double clock() const { return self_->clock(); }
+
+  /// Charge `flops` floating point operations of modeled computation.
+  void compute(double flops);
+
+  /// Charge raw modeled seconds of computation (non-flop work).
+  void charge_seconds(double seconds);
+
+  // --- raw messaging ---
+  void send_bytes(int dst, int tag, std::span<const std::byte> data);
+  Message recv_message(int src, int tag);
+
+  // --- typed messaging (trivially copyable payloads) ---
+  template <class T>
+  void send(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               std::span<const std::byte>(reinterpret_cast<const std::byte*>(&value), sizeof(T)));
+  }
+
+  template <class T>
+  T recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv_message(src, tag);
+    KALI_CHECK(m.size_bytes() == sizeof(T), "typed recv size mismatch");
+    T value;
+    std::memcpy(&value, m.payload.data(), sizeof(T));
+    return value;
+  }
+
+  template <class T>
+  void send_span(int dst, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               std::span<const std::byte>(reinterpret_cast<const std::byte*>(values.data()),
+                                          values.size_bytes()));
+  }
+
+  template <class T>
+  std::vector<T> recv_vec(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv_message(src, tag);
+    KALI_CHECK(m.size_bytes() % sizeof(T) == 0, "span recv size mismatch");
+    std::vector<T> out(m.size_bytes() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+    return out;
+  }
+
+  template <class T>
+  void recv_into(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv_message(src, tag);
+    KALI_CHECK(m.size_bytes() == out.size_bytes(), "recv_into size mismatch");
+    std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+  }
+
+ private:
+  Machine* machine_;
+  Processor* self_;
+};
+
+}  // namespace kali

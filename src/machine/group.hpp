@@ -1,0 +1,41 @@
+// A communication group: an ordered set of machine ranks plus the calling
+// processor's position in it.  Collectives are defined over groups; the
+// runtime layer builds groups from processor-array views (ProcView).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+class Group {
+ public:
+  /// Build a group.  `self_rank` must be a member.
+  Group(std::vector<int> ranks, int self_rank) : ranks_(std::move(ranks)) {
+    KALI_CHECK(!ranks_.empty(), "group must be non-empty");
+    auto it = std::find(ranks_.begin(), ranks_.end(), self_rank);
+    KALI_CHECK(it != ranks_.end(), "calling rank is not a group member");
+    index_ = static_cast<int>(it - ranks_.begin());
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] int index() const { return index_; }  ///< my position
+  [[nodiscard]] int rank_at(int i) const {
+    KALI_CHECK(i >= 0 && i < size(), "group index out of range");
+    return ranks_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int self() const { return rank_at(index_); }
+  [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
+
+  [[nodiscard]] bool contains(int rank) const {
+    return std::find(ranks_.begin(), ranks_.end(), rank) != ranks_.end();
+  }
+
+ private:
+  std::vector<int> ranks_;
+  int index_ = 0;
+};
+
+}  // namespace kali

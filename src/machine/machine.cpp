@@ -1,0 +1,90 @@
+#include "machine/machine.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "machine/context.hpp"
+#include "machine/topology.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+Machine::Machine(int nprocs, MachineConfig cfg) : cfg_(cfg) {
+  KALI_CHECK(nprocs >= 1, "machine needs at least one processor");
+  procs_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    procs_.push_back(std::make_unique<Processor>(r));
+  }
+}
+
+Processor& Machine::proc(int rank) {
+  KALI_CHECK(rank >= 0 && rank < size(), "rank out of range");
+  return *procs_[static_cast<std::size_t>(rank)];
+}
+
+int Machine::hops(int a, int b) const {
+  return hop_count(cfg_.topology, size(), a, b);
+}
+
+double Machine::wire_latency(int a, int b) const {
+  const int h = hops(a, b);
+  if (h <= 0) {
+    return cfg_.latency;  // self-sends still traverse the software stack
+  }
+  return cfg_.latency + cfg_.per_hop * (h - 1);
+}
+
+void Machine::run(const std::function<void(Context&)>& program) {
+  const int p = size();
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
+      try {
+        program(ctx);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        failed.store(true);
+        // Wake every blocked peer so the whole run unwinds promptly.
+        for (auto& q : procs_) {
+          q->mailbox().abort();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (failed.load()) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+MachineStats Machine::stats() const {
+  MachineStats s;
+  s.per_proc.reserve(procs_.size());
+  s.clocks.reserve(procs_.size());
+  for (const auto& p : procs_) {
+    s.per_proc.push_back(p->counters());
+    s.clocks.push_back(p->clock());
+  }
+  return s;
+}
+
+void Machine::reset_stats() {
+  for (auto& p : procs_) {
+    p->reset();
+  }
+}
+
+}  // namespace kali

@@ -1,0 +1,54 @@
+// The virtual loosely coupled machine: N processors with private address
+// spaces, point-to-point messaging, and a deterministic simulated clock.
+//
+// Machine::run executes an SPMD program: the same callable on every
+// processor thread, exactly like the node program of a 1989 hypercube (or an
+// MPI rank today).  Memory isolation is by construction — processors share
+// no data except through Context::send/recv.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "machine/processor.hpp"
+#include "machine/stats.hpp"
+
+namespace kali {
+
+class Context;
+
+class Machine {
+ public:
+  explicit Machine(int nprocs, MachineConfig cfg = {});
+
+  [[nodiscard]] int size() const { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+  /// Run `program` on every processor (one OS thread each) and join.
+  /// If any processor throws, all others are aborted and the first
+  /// exception is rethrown on the caller's thread.
+  void run(const std::function<void(Context&)>& program);
+
+  /// Hop count between two ranks under the configured topology.
+  [[nodiscard]] int hops(int a, int b) const;
+
+  /// Effective one-message wire latency between two ranks.
+  [[nodiscard]] double wire_latency(int a, int b) const;
+
+  Processor& proc(int rank);
+
+  /// Snapshot of all counters/clocks (call between runs, not during).
+  [[nodiscard]] MachineStats stats() const;
+
+  /// Zero all clocks and counters (e.g. after a warm-up phase).
+  void reset_stats();
+
+ private:
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+}  // namespace kali

@@ -1,0 +1,70 @@
+#include "machine/mailbox.hpp"
+
+#include <chrono>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::try_pop_locked(int src, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((src == kAnySource || it->src == src) && it->tag == tag) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::recv(int src, int tag, double timeout_wall_seconds) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_wall_seconds));
+  for (;;) {
+    if (aborted_) {
+      throw Error("recv aborted: a peer processor failed");
+    }
+    if (auto m = try_pop_locked(src, tag)) {
+      return std::move(*m);
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      throw Error("recv timed out waiting for src=" + std::to_string(src) +
+                  " tag=" + std::to_string(tag) + " (likely deadlock)");
+    }
+  }
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& m : queue_) {
+    if ((src == kAnySource || m.src == src) && m.tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace kali

@@ -1,0 +1,45 @@
+// Per-processor mailbox: blocking matched receive over (source, tag).
+//
+// Semantics mirror MPI-1 blocking point-to-point: messages between a fixed
+// (src, dst, tag) triple are non-overtaking (FIFO); recv may use kAnySource.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "machine/message.hpp"
+
+namespace kali {
+
+inline constexpr int kAnySource = -1;
+
+class Mailbox {
+ public:
+  /// Deposit a message (called from the sender's thread).
+  void push(Message m);
+
+  /// Blocking matched receive.  Throws kali::Error on wall-clock timeout
+  /// (deadlock guard) or if the machine aborted because a peer threw.
+  Message recv(int src, int tag, double timeout_wall_seconds);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  [[nodiscard]] bool probe(int src, int tag);
+
+  /// Wake all waiters with an "aborted" error (peer processor failed).
+  void abort();
+
+  /// Number of queued (undelivered) messages.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  std::optional<Message> try_pop_locked(int src, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace kali

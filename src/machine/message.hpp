@@ -1,0 +1,22 @@
+// Message representation for the virtual machine's point-to-point channels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kali {
+
+/// A message in flight.  `send_time` is the sender's simulated clock at the
+/// moment the message entered the network; the receiver uses it to advance
+/// its own clock causally (recv >= send + latency + bytes * byte_time).
+struct Message {
+  int src = -1;
+  int tag = 0;
+  double send_time = 0.0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
+};
+
+}  // namespace kali

@@ -1,0 +1,62 @@
+// Per-processor state: mailbox, simulated clock, and activity counters.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/mailbox.hpp"
+
+namespace kali {
+
+/// Activity counters, all in simulated seconds unless noted.
+struct ProcCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  double flops = 0.0;
+  double compute_time = 0.0;   ///< time spent in modeled computation
+  double overhead_time = 0.0;  ///< send/recv per-message software overhead
+  double wait_time = 0.0;      ///< idle time waiting for message arrival
+
+  ProcCounters& operator+=(const ProcCounters& o) {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_recv += o.msgs_recv;
+    bytes_recv += o.bytes_recv;
+    flops += o.flops;
+    compute_time += o.compute_time;
+    overhead_time += o.overhead_time;
+    wait_time += o.wait_time;
+    return *this;
+  }
+};
+
+/// One virtual processor.  Owned by Machine; user code touches it only
+/// through Context.  Not copyable (it holds a live mailbox).
+class Processor {
+ public:
+  explicit Processor(int rank) : rank_(rank) {}
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] double clock() const { return clock_; }
+  void set_clock(double t) { clock_ = t; }
+
+  Mailbox& mailbox() { return mailbox_; }
+  ProcCounters& counters() { return counters_; }
+  [[nodiscard]] const ProcCounters& counters() const { return counters_; }
+
+  void reset() {
+    clock_ = 0.0;
+    counters_ = ProcCounters{};
+  }
+
+ private:
+  int rank_;
+  double clock_ = 0.0;  // simulated seconds; touched only by its own thread
+  ProcCounters counters_;
+  Mailbox mailbox_;
+};
+
+}  // namespace kali

@@ -1,0 +1,35 @@
+#include "machine/stats.hpp"
+
+#include <algorithm>
+
+namespace kali {
+
+double MachineStats::max_clock() const {
+  double m = 0.0;
+  for (double c : clocks) {
+    m = std::max(m, c);
+  }
+  return m;
+}
+
+ProcCounters MachineStats::totals() const {
+  ProcCounters t;
+  for (const auto& c : per_proc) {
+    t += c;
+  }
+  return t;
+}
+
+double MachineStats::compute_utilization() const {
+  const double makespan = max_clock();
+  if (makespan <= 0.0 || per_proc.empty()) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (const auto& c : per_proc) {
+    busy += c.compute_time;
+  }
+  return busy / (makespan * static_cast<double>(per_proc.size()));
+}
+
+}  // namespace kali

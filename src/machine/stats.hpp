@@ -1,0 +1,26 @@
+// Aggregated machine statistics, collected after a run.
+#pragma once
+
+#include <vector>
+
+#include "machine/processor.hpp"
+
+namespace kali {
+
+struct MachineStats {
+  std::vector<ProcCounters> per_proc;
+  std::vector<double> clocks;  ///< final simulated clock per processor
+
+  /// Simulated makespan: the slowest processor's clock.
+  [[nodiscard]] double max_clock() const;
+
+  /// Totals across processors.
+  [[nodiscard]] ProcCounters totals() const;
+
+  /// Fraction of (nprocs * makespan) spent in modeled computation.
+  /// This is the "how busy are the processors" number behind Figure 3/5
+  /// and the pipelining discussion in sections 3-4 of the paper.
+  [[nodiscard]] double compute_utilization() const;
+};
+
+}  // namespace kali

@@ -1,0 +1,55 @@
+#include "machine/topology.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+int mesh_rows(int nprocs) {
+  KALI_CHECK(nprocs >= 1, "nprocs must be positive");
+  int r = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+  while (r > 1 && nprocs % r != 0) {
+    --r;
+  }
+  return r;
+}
+
+int hop_count(Topology topo, int nprocs, int a, int b) {
+  KALI_CHECK(a >= 0 && a < nprocs && b >= 0 && b < nprocs,
+             "rank out of range");
+  if (a == b) {
+    return 0;
+  }
+  switch (topo) {
+    case Topology::kComplete:
+      return 1;
+    case Topology::kRing: {
+      const int d = std::abs(a - b);
+      return std::min(d, nprocs - d);
+    }
+    case Topology::kMesh2D: {
+      const int rows = mesh_rows(nprocs);
+      const int cols = nprocs / rows;
+      // Ranks beyond rows*cols (when nprocs is prime-ish) fold onto the
+      // last row; hop counts remain well-defined.
+      auto coord = [&](int r) {
+        const int rr = std::min(r / cols, rows - 1);
+        const int cc = r - rr * cols;
+        return std::pair<int, int>(rr, cc);
+      };
+      const auto [ar, ac] = coord(a);
+      const auto [br, bc] = coord(b);
+      return std::abs(ar - br) + std::abs(ac - bc);
+    }
+    case Topology::kHypercube:
+      return std::popcount(static_cast<std::uint32_t>(a) ^
+                           static_cast<std::uint32_t>(b));
+  }
+  KALI_FAIL("unknown topology");
+}
+
+}  // namespace kali

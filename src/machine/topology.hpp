@@ -1,0 +1,21 @@
+// Interconnect hop-count models.
+//
+// The cost model charges `latency + per_hop * (hops - 1)` per message, so a
+// topology only needs to supply pairwise hop counts.  Store-and-forward
+// per-hop costs were significant on 1989 machines (pre-wormhole routing).
+#pragma once
+
+#include "machine/config.hpp"
+
+namespace kali {
+
+/// Hop count between ranks `a` and `b` among `nprocs` processors.
+/// For kMesh2D the machine is folded into a near-square grid; for
+/// kHypercube ranks are compared bitwise (nprocs need not be a power of 2:
+/// the Hamming distance of the rank labels is used as-is).
+int hop_count(Topology topo, int nprocs, int a, int b);
+
+/// Rows of the near-square factorization used by kMesh2D (exposed for tests).
+int mesh_rows(int nprocs);
+
+}  // namespace kali

@@ -1,0 +1,75 @@
+#include "machine/trace.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+void ActivityTrace::resize(int nsteps, int nprocs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  nsteps_ = nsteps;
+  nprocs_ = nprocs;
+  cells_.assign(static_cast<std::size_t>(nsteps) * nprocs, '.');
+}
+
+void ActivityTrace::mark(int step, int proc, char symbol) {
+  std::lock_guard<std::mutex> lk(mu_);
+  KALI_CHECK(step >= 0 && step < nsteps_ && proc >= 0 && proc < nprocs_,
+             "trace mark out of range");
+  cells_[static_cast<std::size_t>(step) * nprocs_ + proc] = symbol;
+}
+
+char ActivityTrace::at(int step, int proc) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  KALI_CHECK(step >= 0 && step < nsteps_ && proc >= 0 && proc < nprocs_,
+             "trace read out of range");
+  return cells_[static_cast<std::size_t>(step) * nprocs_ + proc];
+}
+
+int ActivityTrace::count(int step, char symbol) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  KALI_CHECK(step >= 0 && step < nsteps_, "step out of range");
+  int n = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    if (cells_[static_cast<std::size_t>(step) * nprocs_ + p] == symbol) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int ActivityTrace::active_count(int step) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  KALI_CHECK(step >= 0 && step < nsteps_, "step out of range");
+  int n = 0;
+  for (int p = 0; p < nprocs_; ++p) {
+    if (cells_[static_cast<std::size_t>(step) * nprocs_ + p] != '.') {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string ActivityTrace::render(const std::vector<std::string>& step_labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "          procs: ";
+  for (int p = 0; p < nprocs_; ++p) {
+    os << (p % 10);
+  }
+  os << '\n';
+  for (int s = 0; s < nsteps_; ++s) {
+    std::string label =
+        s < static_cast<int>(step_labels.size()) ? step_labels[s] : ("step " + std::to_string(s));
+    label.resize(16, ' ');
+    os << label << ' ';
+    for (int p = 0; p < nprocs_; ++p) {
+      os << cells_[static_cast<std::size_t>(s) * nprocs_ + p];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace kali

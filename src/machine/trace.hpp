@@ -1,0 +1,41 @@
+// Step/processor activity tracing, used to regenerate the paper's Figure 3
+// (data-flow graph activity) and Figure 5 (mapping onto the processor array).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kali {
+
+/// A (step x processor) character matrix.  Thread-safe marking; rendering is
+/// done after the run.  '.' means idle.
+class ActivityTrace {
+ public:
+  ActivityTrace() = default;
+  ActivityTrace(int nsteps, int nprocs) { resize(nsteps, nprocs); }
+
+  void resize(int nsteps, int nprocs);
+  void mark(int step, int proc, char symbol);
+
+  [[nodiscard]] int nsteps() const { return nsteps_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] char at(int step, int proc) const;
+
+  /// Number of processors marked non-idle at `step`.
+  [[nodiscard]] int active_count(int step) const;
+
+  /// Number of processors marked with `symbol` at `step`.
+  [[nodiscard]] int count(int step, char symbol) const;
+
+  /// Render like Figure 5: one row per step, one column per processor.
+  [[nodiscard]] std::string render(const std::vector<std::string>& step_labels = {}) const;
+
+ private:
+  int nsteps_ = 0;
+  int nprocs_ = 0;
+  std::vector<char> cells_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace kali

@@ -1,0 +1,60 @@
+#include "metrics/loc_counter.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+LocStats count_loc_text(const std::string& text) {
+  LocStats stats;
+  bool in_block_comment = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++stats.total;
+    bool has_code = false;
+    bool has_comment = in_block_comment;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        has_comment = true;
+        break;  // rest of line is a comment
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        has_comment = true;
+        ++i;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(line[i]))) {
+        has_code = true;
+      }
+    }
+    if (has_code) {
+      ++stats.code;
+    } else if (has_comment) {
+      ++stats.comment;
+    } else {
+      ++stats.blank;
+    }
+  }
+  return stats;
+}
+
+LocStats count_loc_file(const std::string& path) {
+  std::ifstream in(path);
+  KALI_CHECK(in.good(), "cannot open source file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return count_loc_text(buf.str());
+}
+
+}  // namespace kali

@@ -1,0 +1,98 @@
+#include "metrics/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+namespace {
+int log2i(int p) {
+  KALI_CHECK(p >= 1 && (p & (p - 1)) == 0, "predictor: p must be 2^k");
+  int k = 0;
+  while ((1 << k) < p) {
+    ++k;
+  }
+  return k;
+}
+}  // namespace
+
+double Predictor::halo_exchange2(int nx, int ny, int px, int py) const {
+  // Interior processor: 4 faces out, 4 in; sends overlap, one wire round.
+  const int mx = nx / std::max(px, 1);
+  const int my = ny / std::max(py, 1);
+  const double pack = 2.0 * (mx + my) * 2.0 * ft();  // pack + unpack
+  const double overheads =
+      4.0 * (cfg_.send_overhead + cfg_.recv_overhead);
+  // Grid neighbours sit 1-2 hypercube hops apart; the critical face is the
+  // larger one.
+  const double wire = cfg_.latency + cfg_.per_hop +
+                      8.0 * std::max(mx, my) * cfg_.byte_time;
+  return pack + overheads + wire;
+}
+
+double Predictor::jacobi_iteration(int n, int p_side) const {
+  const int m = n / std::max(p_side, 1);
+  const double compute =
+      ft() * (static_cast<double>(m + 2) * (m + 2)  // copy-in clone
+              + 6.0 * m * m);                       // stencil
+  if (p_side <= 1) {
+    return ft() * (static_cast<double>(n) * n + 6.0 * n * n);
+  }
+  return compute + halo_exchange2(n, n, p_side, p_side);
+}
+
+double Predictor::tri_solve(int n, int p) const {
+  const int mloc = n / std::max(p, 1);
+  if (p <= 1) {
+    return ft() * 8.0 * n;  // Thomas
+  }
+  const int k = log2i(p);
+  // Critical path through the fold: local reduction, k-1 merges, the root
+  // Thomas, k-1 substitution levels, local substitution.  The fold's pair
+  // messages travel one hypercube hop (ranks differ in a single bit).
+  double t = ft() * (12.0 * mloc + 5.0 * mloc);  // stage 1 + local subst
+  const double pair_msg = message(8 * 8, 1);     // 8 doubles
+  const double sol_msg = message(2 * 8, 1);      // 2 doubles
+  t += (k - 1) * (pair_msg + ft() * 48.0);       // merges
+  t += pair_msg + ft() * 32.0;                   // root Thomas
+  t += (k - 1) * (sol_msg + ft() * 10.0);        // substitution levels
+  t += sol_msg;                                  // final pair delivery
+  return t;
+}
+
+double Predictor::mtri_solve(int nsys, int n, int p) const {
+  const int mloc = n / std::max(p, 1);
+  if (p <= 1) {
+    return nsys * ft() * 8.0 * n;
+  }
+  const int k = log2i(p);
+  // Steady state: every global step a processor reduces one fresh system
+  // (stage 1) and back-substitutes another, plus O(1) tree work; the
+  // pipeline runs nsys + 2k steps.  Unlike the one-shot solver, message
+  // latency is hidden behind the next system's stage-1 work, so only the
+  // per-message software overheads stay on the critical path.
+  const double per_step = ft() * (12.0 * mloc + 5.0 * mloc + 60.0) +
+                          cfg_.send_overhead + cfg_.recv_overhead;
+  return (nsys + 2.0 * k) * per_step + message(8 * 8, 1);
+}
+
+double Predictor::adi_iteration(int n, int px, int py, bool pipelined) const {
+  const int mx = n / std::max(px, 1);
+  const int my = n / std::max(py, 1);
+  // Residual: copy-in + 10-flop stencil + halo; update: 1 flop/point.
+  double t = ft() * (static_cast<double>(mx + 2) * (my + 2) +
+                     11.0 * static_cast<double>(mx) * my);
+  if (px * py > 1) {
+    t += halo_exchange2(n, n, px, py);
+  }
+  if (pipelined) {
+    t += mtri_solve(mx, n, py) + mtri_solve(my, n, px);
+  } else {
+    t += mx * tri_solve(n, py) + my * tri_solve(n, px);
+  }
+  return t;
+}
+
+}  // namespace kali

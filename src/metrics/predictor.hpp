@@ -1,0 +1,54 @@
+// Performance estimation — the tool the paper promises in §2:
+//
+//   "We plan to address this issue by providing performance estimation
+//    tools, which will indicate which parts of a program will compile into
+//    efficient executable code, and which will not."
+//
+// Closed-form first-order models of the runtime's primitives on a given
+// MachineConfig.  The models mirror what the cost model charges (flops per
+// stencil point, per-message overheads, alpha/beta wire terms), so a
+// programmer can compare candidate distributions *before* running, and the
+// E11 bench validates predictions against the simulator (target: within a
+// few tens of percent — the fidelity the paper's tool would have needed to
+// be useful).
+#pragma once
+
+#include "machine/config.hpp"
+
+namespace kali {
+
+class Predictor {
+ public:
+  Predictor(const MachineConfig& cfg, int nprocs)
+      : cfg_(cfg), nprocs_(nprocs) {}
+
+  /// End-to-end delivery time of one message of `bytes` over `hops`.
+  [[nodiscard]] double message(double bytes, int hops = 1) const {
+    return cfg_.send_overhead + cfg_.latency + cfg_.per_hop * (hops - 1) +
+           bytes * cfg_.byte_time + cfg_.recv_overhead;
+  }
+
+  /// One 5-point-stencil halo exchange on a px x py block grid of an
+  /// nx x ny array (star-mode faces, one latency round).
+  [[nodiscard]] double halo_exchange2(int nx, int ny, int px, int py) const;
+
+  /// One Jacobi iteration (copy-in + exchange + stencil), Listing 2/3.
+  [[nodiscard]] double jacobi_iteration(int n, int p_side) const;
+
+  /// One substructured tridiagonal solve of size n on p = 2^k processors.
+  [[nodiscard]] double tri_solve(int n, int p) const;
+
+  /// nsys pipelined solves (Listing 6).
+  [[nodiscard]] double mtri_solve(int nsys, int n, int p) const;
+
+  /// One ADI iteration on an n x n interior grid over px x py (Listing 7/8).
+  [[nodiscard]] double adi_iteration(int n, int px, int py, bool pipelined) const;
+
+ private:
+  [[nodiscard]] double ft() const { return cfg_.flop_time; }
+
+  MachineConfig cfg_;
+  int nprocs_;
+};
+
+}  // namespace kali

@@ -1,0 +1,725 @@
+// Distributed arrays (the paper's `real X(0:np, 0:np) dist (block, block)`).
+//
+// A DistArray<T, R> is an SPMD object: every member of its ProcView holds
+// the descriptor plus its own local slab (with optional halo/ghost margins
+// on block-distributed dimensions).  Non-members hold only the descriptor.
+//
+// Slicing is the paper's key composition mechanism:
+//   A.fix(2, k)           ~  u(*, *, k)   — rank drops; the processor view
+//                                            is sliced to the owners
+//   A.localize(0, lo, n)  ~  v(lo:hi, *)  — a single owner's block becomes
+//                                            an undistributed (*) dimension
+// Both return views sharing the parent's storage, so kernels called on a
+// slice ("distributed procedures") operate on the original data in place.
+//
+// Indexing is Fortran-listing-flavoured: `A(i, j)` takes *global* indices
+// and requires ownership; `A.at_halo(...)` additionally admits ghost cells.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "machine/collectives.hpp"
+#include "machine/context.hpp"
+#include "runtime/distribution.hpp"
+#include "runtime/proc_view.hpp"
+
+namespace kali {
+
+inline constexpr int kTagHaloBase = 1 << 20;
+
+/// Whether a halo exchange must also fill diagonal corner ghosts.
+enum class HaloCorners { kNo, kYes };
+
+/// Strided 1-D window over local memory; what sequential kernels consume.
+template <class T>
+struct Strided {
+  T* data = nullptr;
+  std::ptrdiff_t stride = 1;
+  int n = 0;
+
+  T& operator[](int i) const { return data[stride * static_cast<std::ptrdiff_t>(i)]; }
+
+  operator Strided<const T>() const  // NOLINT(google-explicit-constructor)
+    requires(!std::is_const_v<T>)
+  {
+    return {data, stride, n};
+  }
+};
+
+template <class T, int R>
+class DistArray {
+  static_assert(R >= 1 && R <= 3, "DistArray supports ranks 1..3");
+
+ public:
+  using Extents = std::array<int, R>;
+  using Dists = std::array<DimDist, R>;
+  using Halos = std::array<int, R>;
+
+  DistArray() = default;
+
+  /// Collective constructor: every member of `view` allocates its slab.
+  /// The number of non-star dims must equal view.ndims() (paper rule);
+  /// non-star dims bind to processor-grid dims in declaration order.
+  DistArray(Context& ctx, const ProcView& view, Extents extents, Dists dists,
+            Halos halo = {})
+      : ctx_(&ctx), view_(view), extents_(extents), dists_(dists), halo_(halo) {
+    int pd = 0;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (dists_[ud].kind == DistKind::kStar) {
+        proc_dim_[ud] = -1;
+        maps_[ud] = DimMap(dists_[ud], extents_[ud], 1);
+        KALI_CHECK(halo_[ud] == 0, "halo only on distributed dims");
+      } else {
+        KALI_CHECK(pd < view.ndims(),
+                   "more distributed dims than processor-array dims");
+        proc_dim_[ud] = pd;
+        maps_[ud] = DimMap(dists_[ud], extents_[ud], view.extent(pd));
+        KALI_CHECK(halo_[ud] == 0 || dists_[ud].kind == DistKind::kBlock,
+                   "halo requires a block distribution");
+        ++pd;
+      }
+    }
+    KALI_CHECK(pd == view.ndims(),
+               "distributed dims must match processor-array dims");
+
+    auto coord = view.coord_of(ctx.rank());
+    member_ = coord.has_value();
+    if (!member_) {
+      return;
+    }
+    view_coord_ = *coord;
+    std::ptrdiff_t size = 1;
+    for (int d = R - 1; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      my_coord_[ud] = proc_dim_[ud] < 0
+                          ? 0
+                          : view_coord_[static_cast<std::size_t>(proc_dim_[ud])];
+      lcount_[ud] = maps_[ud].count(my_coord_[ud]);
+      strides_[ud] = size;
+      size *= lcount_[ud] + 2 * halo_[ud];
+    }
+    store_ = std::make_shared<std::vector<T>>(static_cast<std::size_t>(size), T{});
+    offset_ = 0;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      offset_ += static_cast<std::ptrdiff_t>(halo_[ud]) * strides_[ud];
+    }
+  }
+
+  // ---- metadata -----------------------------------------------------------
+
+  [[nodiscard]] bool participating() const { return member_; }
+  [[nodiscard]] const ProcView& view() const { return view_; }
+  [[nodiscard]] int extent(int d) const { return extents_[idx(d)]; }
+  [[nodiscard]] const DimMap& map(int d) const { return maps_[idx(d)]; }
+  [[nodiscard]] DistKind dist_kind(int d) const { return dists_[idx(d)].kind; }
+  [[nodiscard]] int halo(int d) const { return halo_[idx(d)]; }
+  [[nodiscard]] int proc_dim(int d) const { return proc_dim_[idx(d)]; }
+  [[nodiscard]] Context& context() const {
+    KALI_CHECK(ctx_ != nullptr, "uninitialized array");
+    return *ctx_;
+  }
+
+  /// My processor coordinate along dim d's grid dimension (0 for star dims).
+  [[nodiscard]] int my_coord(int d) const {
+    require_member();
+    return my_coord_[idx(d)];
+  }
+
+  /// Communication group over the view (collective helpers).
+  [[nodiscard]] Group group() const {
+    require_member();
+    return view_.group(ctx_->rank());
+  }
+
+  // ---- ownership & indexing ----------------------------------------------
+
+  [[nodiscard]] bool owns(Extents g) const {
+    if (!member_) {
+      return false;
+    }
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (g[ud] < 0 || g[ud] >= extents_[ud]) {
+        return false;
+      }
+      if (maps_[ud].owner(g[ud]) != my_coord_[ud]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] T& at(Extents g) {
+    return (*store_)[static_cast<std::size_t>(flat_owned(g))];
+  }
+  [[nodiscard]] const T& at(Extents g) const {
+    return (*store_)[static_cast<std::size_t>(flat_owned(g))];
+  }
+
+  /// Read access admitting ghost cells on block dims (within halo width).
+  ///
+  /// Ghost cells *outside the global domain* are legal too: they are the
+  /// "boundary frame" of the paper's Listing 2, where each processor's
+  /// (0:m+1, 0:m+1) slab carries boundary data around the distributed
+  /// interior.  Frame cells are zero-initialized, never touched by
+  /// exchange_halo (no neighbour there), and writable via frame().
+  [[nodiscard]] const T& at_halo(Extents g) const {
+    return (*store_)[static_cast<std::size_t>(flat_halo(g))];
+  }
+
+  /// Writable access to halo/frame cells (e.g. to impose inhomogeneous
+  /// Dirichlet values on the boundary frame).
+  [[nodiscard]] T& frame(Extents g) {
+    return (*store_)[static_cast<std::size_t>(flat_halo(g))];
+  }
+
+  // Convenience operators taking global indices.
+  T& operator()(int i)
+    requires(R == 1)
+  {
+    return at({i});
+  }
+  const T& operator()(int i) const
+    requires(R == 1)
+  {
+    return at({i});
+  }
+  T& operator()(int i, int j)
+    requires(R == 2)
+  {
+    return at({i, j});
+  }
+  const T& operator()(int i, int j) const
+    requires(R == 2)
+  {
+    return at({i, j});
+  }
+  T& operator()(int i, int j, int k)
+    requires(R == 3)
+  {
+    return at({i, j, k});
+  }
+  const T& operator()(int i, int j, int k) const
+    requires(R == 3)
+  {
+    return at({i, j, k});
+  }
+
+  /// Owned extent along d for block/star dims: inclusive [lower, upper]
+  /// (the paper's `lower`/`upper` intrinsics).
+  [[nodiscard]] int own_lower(int d) const {
+    require_member();
+    const auto ud = idx(d);
+    if (dists_[ud].kind == DistKind::kStar) {
+      return 0;
+    }
+    KALI_CHECK(dists_[ud].kind == DistKind::kBlock,
+               "own_lower requires block or star dist");
+    return maps_[ud].block_lower(my_coord_[ud]);
+  }
+  [[nodiscard]] int own_upper(int d) const {
+    return own_lower(d) + local_count(d) - 1;
+  }
+  [[nodiscard]] int local_count(int d) const {
+    require_member();
+    return lcount_[idx(d)];
+  }
+
+  /// All owned global indices along d, ascending (any distribution).
+  [[nodiscard]] std::vector<int> owned(int d) const {
+    require_member();
+    const auto ud = idx(d);
+    return maps_[ud].owned_indices(my_coord_[ud]);
+  }
+
+  /// Strided window over the owned elements of a 1-D array.
+  [[nodiscard]] Strided<T> local_strided()
+    requires(R == 1)
+  {
+    require_member();
+    return {store_->data() + offset_, strides_[0], lcount_[0]};
+  }
+  [[nodiscard]] Strided<const T> local_strided() const
+    requires(R == 1)
+  {
+    require_member();
+    return {store_->data() + offset_, strides_[0], lcount_[0]};
+  }
+
+  // ---- fills ----------------------------------------------------------------
+
+  template <class Fn>
+  void fill(Fn fn) {
+    if (!member_) {
+      return;
+    }
+    for_each_owned([&](Extents g) { at(g) = fn(g); });
+  }
+
+  void fill_value(const T& v) {
+    fill([&](Extents) { return v; });
+  }
+
+  /// Visit every owned element (global indices, row-major order).
+  template <class Fn>
+  void for_each_owned(Fn fn) const {
+    if (!member_) {
+      return;
+    }
+    std::array<std::vector<int>, R> own;
+    for (int d = 0; d < R; ++d) {
+      own[static_cast<std::size_t>(d)] = owned(d);
+      if (own[static_cast<std::size_t>(d)].empty()) {
+        return;  // this member owns no elements (extent < nprocs overshoot)
+      }
+    }
+    Extents g{};
+    std::array<std::size_t, R> pos{};
+    for (;;) {
+      for (int d = 0; d < R; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        g[ud] = own[ud][pos[ud]];
+      }
+      fn(g);
+      int d = R - 1;
+      for (; d >= 0; --d) {
+        const auto ud = static_cast<std::size_t>(d);
+        if (++pos[ud] < own[ud].size()) {
+          break;
+        }
+        pos[ud] = 0;
+      }
+      if (d < 0) {
+        return;
+      }
+    }
+  }
+
+  // ---- copy-in/copy-out & halo ---------------------------------------------
+
+  /// Deep copy of the local slab (including halo margins) — the temporary a
+  /// KF1 compiler introduces for the doall copy-in/copy-out semantics.
+  /// Charges one op per element copied, like the explicit tmpX loop of
+  /// Listings 1-2.
+  [[nodiscard]] DistArray clone() const {
+    DistArray c = *this;
+    if (!member_) {
+      return c;
+    }
+    std::ptrdiff_t size = 1;
+    for (int d = R - 1; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      c.strides_[ud] = size;
+      size *= lcount_[ud] + 2 * halo_[ud];
+    }
+    c.store_ = std::make_shared<std::vector<T>>(static_cast<std::size_t>(size));
+    c.offset_ = 0;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      c.offset_ += static_cast<std::ptrdiff_t>(halo_[ud]) * c.strides_[ud];
+    }
+    // Copy the full slab (owned + halo) element-wise (layouts may differ
+    // when *this is a slice of a larger array).
+    std::ptrdiff_t copied = 0;
+    visit_slab([&](const std::array<int, R>& rel) {
+      (*c.store_)[static_cast<std::size_t>(c.rel_flat(rel))] =
+          (*store_)[static_cast<std::size_t>(rel_flat_of(*this, rel))];
+      ++copied;
+    });
+    ctx_->compute(static_cast<double>(copied));
+    return c;
+  }
+
+  /// clone() + exchange_halo(): the full copy-in of a stencil doall.
+  [[nodiscard]] DistArray copy_in(HaloCorners corners = HaloCorners::kNo) const {
+    DistArray c = clone();
+    c.exchange_halo(corners);
+    return c;
+  }
+
+  /// Exchange ghost margins with grid neighbours along every block dim with
+  /// halo > 0.  Collective over the view.
+  ///
+  /// HaloCorners::kNo (default): faces cover the owned extent of the other
+  /// dims; all sends are posted before any receive — one latency round,
+  /// exactly the message pattern of the hand-coded Listing 2.  Sufficient
+  /// for star-shaped stencils (all of the paper's algorithms).
+  ///
+  /// HaloCorners::kYes: faces include the other dims' ghost margins and
+  /// dims are exchanged in order, so diagonal corner ghosts are valid
+  /// afterwards (needed for 9-point-style stencils) at the cost of
+  /// serializing the dimension rounds.
+  void exchange_halo(HaloCorners corners = HaloCorners::kNo) {
+    if (!member_) {
+      return;
+    }
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (halo_[ud] > 0) {
+        KALI_CHECK(lcount_[ud] >= halo_[ud],
+                   "slab thinner than halo; increase extent or reduce procs");
+      }
+    }
+    if (corners == HaloCorners::kYes) {
+      for (int d = 0; d < R; ++d) {
+        if (halo_[static_cast<std::size_t>(d)] > 0) {
+          exchange_dim_sends(d, /*wide=*/true);
+          exchange_dim_recvs(d, /*wide=*/true);
+        }
+      }
+    } else {
+      for (int d = 0; d < R; ++d) {
+        if (halo_[static_cast<std::size_t>(d)] > 0) {
+          exchange_dim_sends(d, /*wide=*/false);
+        }
+      }
+      for (int d = 0; d < R; ++d) {
+        if (halo_[static_cast<std::size_t>(d)] > 0) {
+          exchange_dim_recvs(d, /*wide=*/false);
+        }
+      }
+    }
+  }
+
+  // ---- slicing ---------------------------------------------------------------
+
+  /// Fix dimension `dim` to global index g: u(*, *, k) etc.
+  /// Collective in the descriptor sense: all callers compute the same
+  /// metadata; only owners of the slice keep storage access.
+  [[nodiscard]] DistArray<T, R - 1> fix(int dim, int g) const
+    requires(R >= 2)
+  {
+    const auto ud = idx(dim);
+    KALI_CHECK(g >= 0 && g < extents_[ud], "fix: index out of range");
+    DistArray<T, R - 1> out;
+    out.ctx_ = ctx_;
+    const bool star = dists_[ud].kind == DistKind::kStar;
+    const int removed_pd = proc_dim_[ud];
+    if (star) {
+      out.view_ = view_;
+    } else {
+      out.view_ = view_.fix(removed_pd, maps_[ud].owner(g));
+    }
+    int o = 0;
+    for (int d = 0; d < R; ++d) {
+      if (d == dim) {
+        continue;
+      }
+      const auto sd = static_cast<std::size_t>(d);
+      const auto so = static_cast<std::size_t>(o);
+      out.extents_[so] = extents_[sd];
+      out.dists_[so] = dists_[sd];
+      out.halo_[so] = halo_[sd];
+      out.maps_[so] = maps_[sd];
+      out.proc_dim_[so] =
+          (!star && proc_dim_[sd] > removed_pd) ? proc_dim_[sd] - 1 : proc_dim_[sd];
+      ++o;
+    }
+    out.member_ = member_ && (star || maps_[ud].owner(g) == my_coord_[ud]);
+    if (out.member_) {
+      const auto vc = out.view_.coord_of(ctx_->rank());
+      KALI_CHECK(vc.has_value(), "fix: inconsistent view membership");
+      out.view_coord_ = *vc;
+      o = 0;
+      for (int d = 0; d < R; ++d) {
+        if (d == dim) {
+          continue;
+        }
+        const auto sd = static_cast<std::size_t>(d);
+        const auto so = static_cast<std::size_t>(o);
+        out.my_coord_[so] = my_coord_[sd];
+        out.lcount_[so] = lcount_[sd];
+        out.strides_[so] = strides_[sd];
+        ++o;
+      }
+      out.store_ = store_;
+      const int l = star ? g : maps_[ud].local(g);
+      out.offset_ = offset_ + static_cast<std::ptrdiff_t>(l) * strides_[ud];
+    }
+    return out;
+  }
+
+  /// Restrict dim to [lo, lo+len): star dims always; block dims only when
+  /// the range lies within one owner's slab, which then becomes a star dim
+  /// over the correspondingly fixed processor view (Listing 8's v(lo:hi,*)).
+  [[nodiscard]] DistArray localize(int dim, int lo, int len) const {
+    const auto ud = idx(dim);
+    KALI_CHECK(len >= 1 && lo >= 0 && lo + len <= extents_[ud],
+               "localize: bad range");
+    DistArray out = *this;
+    if (dists_[ud].kind == DistKind::kStar) {
+      out.extents_[ud] = len;
+      out.maps_[ud] = DimMap(DimDist::star(), len, 1);
+      if (member_) {
+        out.offset_ = offset_ + static_cast<std::ptrdiff_t>(lo) * strides_[ud];
+        out.lcount_[ud] = len;
+      }
+      return out;
+    }
+    KALI_CHECK(dists_[ud].kind == DistKind::kBlock,
+               "localize requires star or block dim");
+    KALI_CHECK(maps_[ud].single_owner_range(lo, lo + len - 1),
+               "localize: range spans multiple owners");
+    const int c = maps_[ud].owner(lo);
+    const int removed_pd = proc_dim_[ud];
+    out.view_ = view_.fix(removed_pd, c);
+    out.extents_[ud] = len;
+    out.dists_[ud] = DimDist::star();
+    out.halo_[ud] = 0;
+    out.maps_[ud] = DimMap(DimDist::star(), len, 1);
+    out.proc_dim_[ud] = -1;
+    for (int d = 0; d < R; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      if (d != dim && proc_dim_[sd] > removed_pd) {
+        out.proc_dim_[sd] = proc_dim_[sd] - 1;
+      }
+    }
+    out.member_ = member_ && my_coord_[ud] == c;
+    if (out.member_) {
+      const auto vc = out.view_.coord_of(ctx_->rank());
+      KALI_CHECK(vc.has_value(), "localize: inconsistent view membership");
+      out.view_coord_ = *vc;
+      out.my_coord_[ud] = 0;
+      out.lcount_[ud] = len;
+      out.offset_ = offset_ + static_cast<std::ptrdiff_t>(maps_[ud].local(lo)) * strides_[ud];
+    } else {
+      out.store_.reset();
+    }
+    return out;
+  }
+
+ private:
+  template <class U, int S>
+  friend class DistArray;
+
+  static std::size_t idx(int d) {
+    KALI_CHECK(d >= 0 && d < R, "dimension out of range");
+    return static_cast<std::size_t>(d);
+  }
+
+  void require_member() const {
+    KALI_CHECK(member_, "operation requires view membership");
+  }
+
+  [[nodiscard]] std::ptrdiff_t flat_halo(Extents g) const {
+    require_member();
+    std::ptrdiff_t f = offset_;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      int rel;
+      if (dists_[ud].kind == DistKind::kBlock) {
+        rel = g[ud] - maps_[ud].block_lower(my_coord_[ud]);
+        KALI_CHECK(rel >= -halo_[ud] && rel < lcount_[ud] + halo_[ud],
+                   "at_halo: outside slab+halo");
+      } else {
+        KALI_CHECK(g[ud] >= 0 && g[ud] < extents_[ud] &&
+                       maps_[ud].owner(g[ud]) == my_coord_[ud],
+                   "at_halo: not owned");
+        rel = maps_[ud].local(g[ud]);
+      }
+      f += static_cast<std::ptrdiff_t>(rel) * strides_[ud];
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::ptrdiff_t flat_owned(Extents g) const {
+    require_member();
+    std::ptrdiff_t f = offset_;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      KALI_CHECK(g[ud] >= 0 && g[ud] < extents_[ud], "index out of range");
+      KALI_CHECK(maps_[ud].owner(g[ud]) == my_coord_[ud], "index not owned");
+      f += static_cast<std::ptrdiff_t>(maps_[ud].local(g[ud])) * strides_[ud];
+    }
+    return f;
+  }
+
+  /// Flat position of slab-relative coordinates (rel in [-halo, count+halo)).
+  static std::ptrdiff_t rel_flat_of(const DistArray& a, const std::array<int, R>& rel) {
+    std::ptrdiff_t f = a.offset_;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      f += static_cast<std::ptrdiff_t>(rel[ud]) * a.strides_[ud];
+    }
+    return f;
+  }
+  [[nodiscard]] std::ptrdiff_t rel_flat(const std::array<int, R>& rel) const {
+    return rel_flat_of(*this, rel);
+  }
+
+  /// Visit all slab-relative coordinates including halo margins.
+  template <class Fn>
+  void visit_slab(Fn fn) const {
+    std::array<int, R> rel{};
+    std::array<int, R> lo{};
+    std::array<int, R> hi{};
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      lo[ud] = -halo_[ud];
+      hi[ud] = lcount_[ud] + halo_[ud];  // exclusive
+      rel[ud] = lo[ud];
+      if (lo[ud] >= hi[ud]) {
+        return;  // empty slab
+      }
+    }
+    for (;;) {
+      fn(rel);
+      int d = R - 1;
+      for (; d >= 0; --d) {
+        const auto ud = static_cast<std::size_t>(d);
+        if (++rel[ud] < hi[ud]) {
+          break;
+        }
+        rel[ud] = lo[ud];
+      }
+      if (d < 0) {
+        return;
+      }
+    }
+  }
+
+  /// Visit the slab face of thickness `halo_[dim]` at `side` (0: low, 1:
+  /// high) — `owned_side` selects owned planes (to send) vs ghost planes
+  /// (to receive).  `wide` extends the face across the other dims' ghost
+  /// margins (corner-filling mode).
+  template <class Fn>
+  void visit_face(int dim, int side, bool owned_side, bool wide, Fn fn) const {
+    const auto ud = static_cast<std::size_t>(dim);
+    const int h = halo_[ud];
+    std::array<int, R> rel{};
+    std::array<int, R> lo{};
+    std::array<int, R> hi{};
+    for (int d = 0; d < R; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      lo[sd] = wide ? -halo_[sd] : 0;
+      hi[sd] = lcount_[sd] + (wide ? halo_[sd] : 0);
+    }
+    if (owned_side) {
+      lo[ud] = side == 0 ? 0 : lcount_[ud] - h;
+      hi[ud] = side == 0 ? h : lcount_[ud];
+    } else {
+      lo[ud] = side == 0 ? -h : lcount_[ud];
+      hi[ud] = side == 0 ? 0 : lcount_[ud] + h;
+    }
+    for (int d = 0; d < R; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      rel[sd] = lo[sd];
+      if (lo[sd] >= hi[sd]) {
+        return;
+      }
+    }
+    for (;;) {
+      fn(rel);
+      int d = R - 1;
+      for (; d >= 0; --d) {
+        const auto sd = static_cast<std::size_t>(d);
+        if (++rel[sd] < hi[sd]) {
+          break;
+        }
+        rel[sd] = lo[sd];
+      }
+      if (d < 0) {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] int neighbor_rank(int dim, int delta) const {
+    const auto ud = static_cast<std::size_t>(dim);
+    const int pd = proc_dim_[ud];
+    const int c = my_coord_[ud] + delta;
+    if (c < 0 || c >= view_.extent(pd)) {
+      return -1;
+    }
+    auto coord = view_coord_;
+    coord[static_cast<std::size_t>(pd)] = c;
+    return view_.rank_of(coord);
+  }
+
+  void exchange_dim_sends(int d, bool wide) {
+    const int tag_lo = kTagHaloBase + 4 * d;      // data travelling low->high
+    const int tag_hi = kTagHaloBase + 4 * d + 1;  // data travelling high->low
+    const int left = neighbor_rank(d, -1);
+    const int right = neighbor_rank(d, +1);
+    std::vector<T> buf;
+    double packed = 0;
+    // Send owned low face to left neighbour, owned high face to right.
+    if (left >= 0) {
+      buf.clear();
+      visit_face(d, 0, /*owned_side=*/true, wide,
+                 [&](const std::array<int, R>& rel) {
+                   buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
+                 });
+      ctx_->send_span<T>(left, tag_hi, buf);
+      packed += static_cast<double>(buf.size());
+    }
+    if (right >= 0) {
+      buf.clear();
+      visit_face(d, 1, /*owned_side=*/true, wide,
+                 [&](const std::array<int, R>& rel) {
+                   buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
+                 });
+      ctx_->send_span<T>(right, tag_lo, buf);
+      packed += static_cast<double>(buf.size());
+    }
+    ctx_->compute(packed);  // pack cost, one op per element moved
+  }
+
+  void exchange_dim_recvs(int d, bool wide) {
+    const int tag_lo = kTagHaloBase + 4 * d;
+    const int tag_hi = kTagHaloBase + 4 * d + 1;
+    const int left = neighbor_rank(d, -1);
+    const int right = neighbor_rank(d, +1);
+    double packed = 0;
+    if (left >= 0) {
+      auto in = ctx_->recv_vec<T>(left, tag_lo);
+      std::size_t k = 0;
+      visit_face(d, 0, /*owned_side=*/false, wide,
+                 [&](const std::array<int, R>& rel) {
+                   (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
+                 });
+      KALI_CHECK(k == in.size(), "halo size mismatch (low)");
+      packed += static_cast<double>(k);
+    }
+    if (right >= 0) {
+      auto in = ctx_->recv_vec<T>(right, tag_hi);
+      std::size_t k = 0;
+      visit_face(d, 1, /*owned_side=*/false, wide,
+                 [&](const std::array<int, R>& rel) {
+                   (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
+                 });
+      KALI_CHECK(k == in.size(), "halo size mismatch (high)");
+      packed += static_cast<double>(k);
+    }
+    ctx_->compute(packed);  // unpack cost
+  }
+
+  Context* ctx_ = nullptr;
+  ProcView view_{};
+  Extents extents_{};
+  Dists dists_{};
+  Halos halo_{};
+  std::array<DimMap, R> maps_{};
+  std::array<int, R> proc_dim_{};  ///< grid dim per array dim; -1 for star
+  bool member_ = false;
+  std::array<int, kMaxProcDims> view_coord_{};
+  std::array<int, R> my_coord_{};
+  std::array<int, R> lcount_{};
+  std::array<std::ptrdiff_t, R> strides_{};
+  std::ptrdiff_t offset_ = 0;
+  std::shared_ptr<std::vector<T>> store_;
+};
+
+template <class T>
+using DistArray1 = DistArray<T, 1>;
+template <class T>
+using DistArray2 = DistArray<T, 2>;
+template <class T>
+using DistArray3 = DistArray<T, 3>;
+
+}  // namespace kali

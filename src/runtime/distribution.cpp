@@ -1,0 +1,141 @@
+#include "runtime/distribution.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+std::string to_string(DistKind k) {
+  switch (k) {
+    case DistKind::kStar:
+      return "*";
+    case DistKind::kBlock:
+      return "block";
+    case DistKind::kCyclic:
+      return "cyclic";
+    case DistKind::kBlockCyclic:
+      return "block_cyclic";
+  }
+  return "?";
+}
+
+DimMap::DimMap(DimDist dist, int extent, int nprocs)
+    : dist_(dist), extent_(extent), nprocs_(nprocs) {
+  KALI_CHECK(extent >= 0, "negative extent");
+  KALI_CHECK(nprocs >= 1, "nprocs must be positive");
+  KALI_CHECK(dist.block >= 1, "block length must be positive");
+  if (dist_.kind == DistKind::kBlock) {
+    block_ = (extent_ + nprocs_ - 1) / nprocs_;
+  }
+}
+
+int DimMap::owner(int g) const {
+  KALI_CHECK(g >= 0 && g < extent_, "owner: index out of range");
+  switch (dist_.kind) {
+    case DistKind::kStar:
+      return 0;
+    case DistKind::kBlock:
+      return g / block_;
+    case DistKind::kCyclic:
+      return g % nprocs_;
+    case DistKind::kBlockCyclic:
+      return (g / dist_.block) % nprocs_;
+  }
+  KALI_FAIL("bad kind");
+}
+
+int DimMap::local(int g) const {
+  KALI_CHECK(g >= 0 && g < extent_, "local: index out of range");
+  switch (dist_.kind) {
+    case DistKind::kStar:
+      return g;
+    case DistKind::kBlock:
+      return g - (g / block_) * block_;
+    case DistKind::kCyclic:
+      return g / nprocs_;
+    case DistKind::kBlockCyclic: {
+      const int b = dist_.block;
+      return (g / (b * nprocs_)) * b + g % b;
+    }
+  }
+  KALI_FAIL("bad kind");
+}
+
+int DimMap::global(int c, int l) const {
+  KALI_CHECK(c >= 0 && c < nprocs_, "global: bad proc coord");
+  KALI_CHECK(l >= 0 && l < count(c), "global: bad local index");
+  switch (dist_.kind) {
+    case DistKind::kStar:
+      return l;
+    case DistKind::kBlock:
+      return c * block_ + l;
+    case DistKind::kCyclic:
+      return l * nprocs_ + c;
+    case DistKind::kBlockCyclic: {
+      const int b = dist_.block;
+      return (l / b) * b * nprocs_ + c * b + l % b;
+    }
+  }
+  KALI_FAIL("bad kind");
+}
+
+int DimMap::count(int c) const {
+  KALI_CHECK(c >= 0 && c < nprocs_, "count: bad proc coord");
+  switch (dist_.kind) {
+    case DistKind::kStar:
+      return extent_;
+    case DistKind::kBlock:
+      return std::clamp(extent_ - c * block_, 0, block_);
+    case DistKind::kCyclic: {
+      return (extent_ - c + nprocs_ - 1) / nprocs_;
+    }
+    case DistKind::kBlockCyclic: {
+      const int b = dist_.block;
+      const int full = extent_ / (b * nprocs_);
+      const int rem = extent_ - full * b * nprocs_;
+      return full * b + std::clamp(rem - c * b, 0, b);
+    }
+  }
+  KALI_FAIL("bad kind");
+}
+
+int DimMap::block_lower(int c) const {
+  KALI_CHECK(dist_.kind == DistKind::kBlock, "lower() requires block dist");
+  KALI_CHECK(c >= 0 && c < nprocs_, "lower: bad proc coord");
+  return c * block_;
+}
+
+int DimMap::block_upper(int c) const {
+  KALI_CHECK(dist_.kind == DistKind::kBlock, "upper() requires block dist");
+  return block_lower(c) + count(c) - 1;
+}
+
+std::vector<int> DimMap::owned_indices(int c) const {
+  const int n = count(c);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    out.push_back(global(c, l));
+  }
+  return out;
+}
+
+bool DimMap::single_owner_range(int lo, int hi) const {
+  KALI_CHECK(lo <= hi, "empty range");
+  if (dist_.kind == DistKind::kStar) {
+    return true;
+  }
+  if (dist_.kind == DistKind::kBlock) {
+    return owner(lo) == owner(hi);
+  }
+  const int own = owner(lo);
+  for (int g = lo + 1; g <= hi; ++g) {
+    if (owner(g) != own) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kali

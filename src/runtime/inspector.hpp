@@ -1,0 +1,145 @@
+// Inspector/executor gather for irregular read patterns.
+//
+// The paper (§2) notes that when the compiler cannot analyse an access
+// pattern statically, it "must generate runtime code which will gather such
+// information on the fly" (ref [17]; C. Koelbel's thesis — the PARTI/Kali
+// scheme).  GatherPlan is that runtime code: an *inspector* pass records
+// which global indices each processor wants, builds a reusable
+// communication schedule, and the *executor* replays it cheaply every
+// iteration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/dist_array.hpp"
+
+namespace kali {
+
+inline constexpr int kTagInspReq = (1 << 22);
+inline constexpr int kTagInspData = (1 << 22) + 1;
+
+class GatherPlan {
+ public:
+  GatherPlan() = default;
+
+  /// Inspector: collective over A's view.  `wants` lists the global indices
+  /// this member will read (duplicates allowed, any order).
+  template <class T>
+  static GatherPlan build(const DistArray1<T>& A, std::span<const int> wants) {
+    GatherPlan plan;
+    if (!A.participating()) {
+      return plan;
+    }
+    Context& ctx = A.context();
+    plan.self_rank_ = ctx.rank();
+    plan.peers_ = A.view().ranks();
+    plan.n_wants_ = wants.size();
+
+    const std::size_t np = plan.peers_.size();
+    std::vector<std::vector<int>> requests(np);   // indices I ask from peer
+    std::vector<std::vector<std::size_t>> slots(np);  // their spots in `wants`
+    for (std::size_t w = 0; w < wants.size(); ++w) {
+      const int g = wants[w];
+      KALI_CHECK(g >= 0 && g < A.extent(0), "gather index out of range");
+      const int owner_coord = A.map(0).owner(g);
+      const int owner = A.view().rank_of({owner_coord, 0, 0});
+      const std::size_t pi = plan.peer_index(owner);
+      requests[pi].push_back(g);
+      slots[pi].push_back(w);
+    }
+    ctx.compute(static_cast<double>(wants.size()));  // inspector index math
+
+    // Exchange request lists pairwise (self handled locally).
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (plan.peers_[pi] == plan.self_rank_) {
+        continue;
+      }
+      ctx.send_span<int>(plan.peers_[pi], kTagInspReq,
+                         std::span<const int>(requests[pi]));
+    }
+    plan.send_indices_.assign(np, {});
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (plan.peers_[pi] == plan.self_rank_) {
+        plan.send_indices_[pi] = requests[pi];  // local "sends" to myself
+      } else {
+        plan.send_indices_[pi] = ctx.recv_vec<int>(plan.peers_[pi], kTagInspReq);
+      }
+    }
+    plan.recv_slots_ = std::move(slots);
+    return plan;
+  }
+
+  /// Executor: fetch the values for the recorded indices; out[i] corresponds
+  /// to wants[i] of the inspector call.  Reusable across iterations as long
+  /// as A's distribution is unchanged (values may change freely).
+  template <class T>
+  std::vector<T> execute(const DistArray1<T>& A) const {
+    std::vector<T> out(n_wants_);
+    if (!A.participating()) {
+      return out;
+    }
+    Context& ctx = A.context();
+    const std::size_t np = peers_.size();
+    std::vector<T> buf;
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (peers_[pi] == self_rank_) {
+        continue;
+      }
+      buf.clear();
+      for (int g : send_indices_[pi]) {
+        buf.push_back(A.at({g}));
+      }
+      ctx.send_span<T>(peers_[pi], kTagInspData, std::span<const T>(buf));
+      ctx.compute(static_cast<double>(buf.size()));
+    }
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const auto& spots = recv_slots_[pi];
+      if (peers_[pi] == self_rank_) {
+        for (std::size_t k = 0; k < spots.size(); ++k) {
+          out[spots[k]] = A.at({send_indices_[pi][k]});
+        }
+        ctx.compute(static_cast<double>(spots.size()));
+        continue;
+      }
+      auto vals = ctx.recv_vec<T>(peers_[pi], kTagInspData);
+      KALI_CHECK(vals.size() == spots.size(), "executor size mismatch");
+      for (std::size_t k = 0; k < spots.size(); ++k) {
+        out[spots[k]] = vals[k];
+      }
+      ctx.compute(static_cast<double>(spots.size()));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t want_count() const { return n_wants_; }
+
+  /// Total values this member must ship to peers per execution (diagnostic).
+  [[nodiscard]] std::size_t send_volume() const {
+    std::size_t n = 0;
+    for (std::size_t pi = 0; pi < peers_.size(); ++pi) {
+      if (peers_[pi] != self_rank_) {
+        n += send_indices_[pi].size();
+      }
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] std::size_t peer_index(int rank) const {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (peers_[i] == rank) {
+        return i;
+      }
+    }
+    KALI_FAIL("rank not in view");
+  }
+
+  int self_rank_ = -1;
+  std::size_t n_wants_ = 0;
+  std::vector<int> peers_;
+  std::vector<std::vector<int>> send_indices_;        // per peer: globals to send
+  std::vector<std::vector<std::size_t>> recv_slots_;  // per peer: slots in wants
+};
+
+}  // namespace kali

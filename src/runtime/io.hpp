@@ -1,0 +1,77 @@
+// Gather/scatter helpers between distributed arrays and the view root —
+// used by tests and benches to verify distributed results against
+// sequential references.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/dist_array.hpp"
+
+namespace kali {
+
+namespace detail {
+template <class T>
+struct IdxVal {
+  std::int64_t idx;
+  T val;
+};
+}  // namespace detail
+
+/// Row-major linearization of a global index.
+template <class T, int R>
+std::int64_t linearize(const DistArray<T, R>& A,
+                       typename DistArray<T, R>::Extents g) {
+  std::int64_t f = 0;
+  for (int d = 0; d < R; ++d) {
+    f = f * A.extent(d) + g[static_cast<std::size_t>(d)];
+  }
+  return f;
+}
+
+/// Collect the full global contents on the view's root member (linear index
+/// 0).  Returns the row-major array there; an empty vector elsewhere.
+/// Collective over the view.  Replicated (star) dims are contributed by all
+/// owners; values must agree (they do for coherently-written arrays).
+template <class T, int R>
+std::vector<T> gather_global(const DistArray<T, R>& A) {
+  if (!A.participating()) {
+    return {};
+  }
+  Context& ctx = A.context();
+  std::vector<detail::IdxVal<T>> mine;
+  A.for_each_owned([&](std::array<int, R> g) {
+    mine.push_back({linearize(A, g), A.at(g)});
+  });
+  Group grp = A.group();
+  auto all = gather(ctx, grp, 0, std::span<const detail::IdxVal<T>>(mine));
+  if (grp.index() != 0) {
+    return {};
+  }
+  std::int64_t total = 1;
+  for (int d = 0; d < R; ++d) {
+    total *= A.extent(d);
+  }
+  std::vector<T> out(static_cast<std::size_t>(total), T{});
+  for (const auto& iv : all) {
+    out[static_cast<std::size_t>(iv.idx)] = iv.val;
+  }
+  return out;
+}
+
+/// Gather on root and broadcast so every member holds the full array.
+template <class T, int R>
+std::vector<T> gather_all(const DistArray<T, R>& A) {
+  std::vector<T> full = gather_global(A);
+  if (!A.participating()) {
+    return full;
+  }
+  std::int64_t total = 1;
+  for (int d = 0; d < R; ++d) {
+    total *= A.extent(d);
+  }
+  full.resize(static_cast<std::size_t>(total));
+  broadcast(A.context(), A.group(), 0, std::span<T>(full));
+  return full;
+}
+
+}  // namespace kali

@@ -1,0 +1,99 @@
+// Strided copies between arrays of different extents/distributions along
+// one dimension — the communication core of multigrid restriction and
+// interpolation under semi-coarsening (paper §5), where coarse-grid
+// ownership does not generally align with fine-grid ownership.
+//
+//   copy_strided_dim(ctx, src, dst, dim, s_stride, s_off, d_stride, d_off, n)
+//     performs, along `dim`:  dst[d_stride*t + d_off] = src[s_stride*t + s_off]
+//     for t = 0..n-1, identity on all other dimensions.
+//
+// Restriction injects  dst_coarse[K] = src_fine[2K]   (s_stride=2, d_stride=1);
+// interpolation spreads dst_fine[2K] = src_coarse[K]  (s_stride=1, d_stride=2).
+//
+// Like redistribute(), every source owner bins values by destination owner;
+// this handles arbitrary block misalignment between grid levels.
+#pragma once
+
+#include "runtime/io.hpp"
+#include "runtime/redistribute.hpp"
+
+namespace kali {
+
+inline constexpr int kTagRemap = (1 << 21) + 2;
+
+template <class T, int R>
+void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
+                      DistArray<T, R>& dst, int dim, int s_stride, int s_off,
+                      int d_stride, int d_off, int count) {
+  const auto ud = static_cast<std::size_t>(dim);
+  for (int d = 0; d < R; ++d) {
+    if (d != dim) {
+      KALI_CHECK(src.extent(d) == dst.extent(d),
+                 "copy_strided_dim: extent mismatch off-dim");
+    }
+  }
+  KALI_CHECK(count >= 0, "copy_strided_dim: bad count");
+  KALI_CHECK(count == 0 || (s_off + (count - 1) * s_stride < src.extent(dim) &&
+                            d_off + (count - 1) * d_stride < dst.extent(dim)),
+             "copy_strided_dim: range out of bounds");
+
+  struct Packet {
+    std::int64_t idx;  // destination linear index
+    T val;
+  };
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (!in_src && !in_dst) {
+    return;
+  }
+
+  std::vector<int> dst_ranks = dst.view().ranks();
+  if (in_src) {
+    std::vector<std::vector<Packet>> outgoing(dst_ranks.size());
+    src.for_each_owned([&](std::array<int, R> g) {
+      const int rel = g[ud] - s_off;
+      if (rel < 0 || rel % s_stride != 0 || rel / s_stride >= count) {
+        return;
+      }
+      std::array<int, R> gd = g;
+      gd[ud] = d_off + (rel / s_stride) * d_stride;
+      const T v = src.at(g);
+      for (std::size_t pi = 0; pi < dst_ranks.size(); ++pi) {
+        const auto coord = dst.view().coord_of(dst_ranks[pi]);
+        bool owns = true;
+        for (int d = 0; d < R && owns; ++d) {
+          const int pd = dst.proc_dim(d);
+          if (pd >= 0 && dst.map(d).owner(gd[static_cast<std::size_t>(d)]) !=
+                             (*coord)[static_cast<std::size_t>(pd)]) {
+            owns = false;
+          }
+        }
+        if (owns) {
+          outgoing[pi].push_back({linearize(dst, gd), v});
+        }
+      }
+    });
+    std::size_t moved = 0;
+    for (std::size_t pi = 0; pi < dst_ranks.size(); ++pi) {
+      ctx.send_span<Packet>(dst_ranks[pi], kTagRemap,
+                            std::span<const Packet>(outgoing[pi]));
+      moved += outgoing[pi].size();
+    }
+    ctx.compute(static_cast<double>(moved));
+  }
+  if (in_dst) {
+    std::array<int, R> ext{};
+    for (int d = 0; d < R; ++d) {
+      ext[static_cast<std::size_t>(d)] = dst.extent(d);
+    }
+    for (int srank : src.view().ranks()) {
+      auto pkts = ctx.recv_vec<Packet>(srank, kTagRemap);
+      for (const auto& pkt : pkts) {
+        dst.at(detail::delinearize<R>(pkt.idx, ext)) = pkt.val;
+      }
+      ctx.compute(static_cast<double>(pkts.size()));
+    }
+  }
+}
+
+}  // namespace kali

@@ -1,0 +1,50 @@
+// Listing 1: the sequential Jacobi iteration.
+#include <vector>
+
+#include "solvers/jacobi.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+std::vector<double> jacobi_seq(Context& ctx, int n, const JacobiRhs& f,
+                               int iters) {
+  KALI_CHECK(n >= 1, "jacobi: bad size");
+  // X(0:np, 0:np) with np = n+1: interior 1..n, zero boundary ring.
+  const int np = n + 2;
+  std::vector<double> x(static_cast<std::size_t>(np * np), 0.0);
+  std::vector<double> rhs(static_cast<std::size_t>(n * n));
+  auto X = [&](int i, int j) -> double& {
+    return x[static_cast<std::size_t>(i * np + j)];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      rhs[static_cast<std::size_t>(i * n + j)] = f(i, j);
+    }
+  }
+  std::vector<double> tmp = x;
+  auto T = [&](int i, int j) -> double& {
+    return tmp[static_cast<std::size_t>(i * np + j)];
+  };
+  for (int it = 0; it < iters; ++it) {
+    // copy solution into a temporary array
+    tmp = x;
+    ctx.compute(static_cast<double>(n) * n);
+    // update solution array
+    for (int i = 1; i <= n; ++i) {
+      for (int j = 1; j <= n; ++j) {
+        X(i, j) = 0.25 * (T(i + 1, j) + T(i - 1, j) + T(i, j + 1) + T(i, j - 1)) -
+                  rhs[static_cast<std::size_t>((i - 1) * n + (j - 1))];
+      }
+    }
+    ctx.compute(kJacobiFlopsPerPoint * n * n);
+  }
+  std::vector<double> out(static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<std::size_t>(i * n + j)] = X(i + 1, j + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace kali

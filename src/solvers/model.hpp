@@ -1,0 +1,80 @@
+// Model problems and shared numerics for the solver layer.
+//
+// The paper's running PDE (section 4):  a u_xx + b u_yy + c u = F  on the
+// unit square (and its 3-D Poisson-like analogue in section 5), with
+// homogeneous Dirichlet boundaries.  We manufacture exact solutions from
+// sine modes so every solver can be validated against discretization-level
+// accuracy.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "runtime/dist_array.hpp"
+#include "runtime/doall.hpp"
+
+namespace kali {
+
+/// 2-D constant-coefficient operator  axx u_xx + ayy u_yy + sigma u  on a
+/// uniform grid with spacings (hx, hy).
+struct Op2 {
+  double axx = 1.0;
+  double ayy = 1.0;
+  double sigma = 0.0;
+  double hx = 1.0;
+  double hy = 1.0;
+
+  [[nodiscard]] double cx() const { return axx / (hx * hx); }
+  [[nodiscard]] double cy() const { return ayy / (hy * hy); }
+  [[nodiscard]] double diag() const { return sigma - 2.0 * cx() - 2.0 * cy(); }
+};
+
+/// 3-D analogue on spacings (hx, hy, hz).
+struct Op3 {
+  double axx = 1.0;
+  double ayy = 1.0;
+  double azz = 1.0;
+  double sigma = 0.0;
+  double hx = 1.0;
+  double hy = 1.0;
+  double hz = 1.0;
+
+  [[nodiscard]] double cx() const { return axx / (hx * hx); }
+  [[nodiscard]] double cy() const { return ayy / (hy * hy); }
+  [[nodiscard]] double cz() const { return azz / (hz * hz); }
+  [[nodiscard]] double diag() const {
+    return sigma - 2.0 * (cx() + cy() + cz());
+  }
+  /// The plane operator seen by zebra relaxation on a z-plane.
+  [[nodiscard]] Op2 plane_op() const {
+    return Op2{axx, ayy, sigma - 2.0 * cz(), hx, hy};
+  }
+};
+
+/// Manufactured smooth solution sin(pi x) sin(pi y) and the matching F.
+inline double exact2(double x, double y) {
+  return std::sin(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+}
+inline double rhs2(const Op2& op, double x, double y) {
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  return (-(op.axx + op.ayy) * pi2 + op.sigma) * exact2(x, y);
+}
+
+inline double exact3(double x, double y, double z) {
+  return std::sin(std::numbers::pi * x) * std::sin(std::numbers::pi * y) *
+         std::sin(std::numbers::pi * z);
+}
+inline double rhs3(const Op3& op, double x, double y, double z) {
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  return (-(op.axx + op.ayy + op.azz) * pi2 + op.sigma) * exact3(x, y, z);
+}
+
+/// Discrete L2 norm over a range product of a 2-D array (replicated result).
+template <class T>
+double norm2(const DistArray2<T>& a, Range ri, Range rj) {
+  const double s =
+      doall2_sum(a, ri, rj, [&](int i, int j) { return a(i, j) * a(i, j); });
+  return std::sqrt(s);
+}
+
+}  // namespace kali

@@ -1,0 +1,68 @@
+// Distributed general sparse matrices — the paper's stated next step:
+//
+//   §6: "the usability and generality of programming constructs ... will be
+//   determined largely by their success on more complex problems, such as
+//   those involving adaptive or irregular grids and general sparse
+//   matrices.  We are addressing these issues in the Kali project as well."
+//
+// This module is that Kali companion work (refs [2], [17]: Koelbel/Saltz
+// runtime scheduling) built on this repository's constructs: rows are
+// block-distributed; the irregular column accesses of y = A x are served by
+// a GatherPlan built once by the inspector and replayed by the executor
+// every iteration — the schedule-reuse idea the PARTI/Kali line pioneered.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/dist_array.hpp"
+#include "runtime/inspector.hpp"
+
+namespace kali {
+
+/// One sparse row: (column, value) pairs, any order, no duplicates.
+using SparseRowFn =
+    std::function<std::vector<std::pair<int, double>>(int global_row)>;
+
+/// Square sparse matrix with rows distributed like a 1-D block template.
+class DistCsrMatrix {
+ public:
+  /// Collective over `tmpl`'s view: each member assembles its owned rows
+  /// and the inspector builds the gather schedule for the column pattern.
+  DistCsrMatrix(const DistArray1<double>& tmpl, const SparseRowFn& rows);
+
+  /// y = A x.  x and y must share the template's extent/distribution/view.
+  /// Executor-only: no index arithmetic or schedule traffic is repeated.
+  void multiply(const DistArray1<double>& x, DistArray1<double>& y) const;
+
+  [[nodiscard]] int extent() const { return n_; }
+  [[nodiscard]] std::size_t local_nonzeros() const { return vals_.size(); }
+
+  /// Values this member fetches from peers per multiply (schedule volume).
+  [[nodiscard]] std::size_t gather_volume() const { return plan_.send_volume(); }
+
+  /// Local diagonal entries by owned-row order (for Jacobi-type smoothers).
+  [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
+
+ private:
+  int n_ = 0;
+  ProcView view_;
+  std::vector<int> row_ptr_;   // CSR over owned rows
+  std::vector<int> cols_;      // global column ids
+  std::vector<double> vals_;
+  std::vector<double> diag_;
+  GatherPlan plan_;            // inspector result for `cols_`
+};
+
+/// Weighted Jacobi iteration x += omega D^{-1} (b - A x); returns the final
+/// residual 2-norm.  Collective.
+double sparse_jacobi(const DistCsrMatrix& A, const DistArray1<double>& b,
+                     DistArray1<double>& x, int iters, double omega = 0.8);
+
+/// Conjugate gradients for SPD A; returns the iteration count used
+/// (<= max_iters) after reaching ||r|| <= rtol * ||b||.  Collective.
+int sparse_cg(const DistCsrMatrix& A, const DistArray1<double>& b,
+              DistArray1<double>& x, double rtol, int max_iters);
+
+}  // namespace kali

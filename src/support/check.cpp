@@ -1,0 +1,18 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace kali::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "KaliTP check failed: " << cond;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  os << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace kali::detail

@@ -1,0 +1,34 @@
+// Error handling primitives used across KaliTP.
+//
+// All precondition violations throw kali::Error so that tests can assert on
+// failure behaviour (gtest EXPECT_THROW) instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kali {
+
+/// Exception type for all KaliTP contract violations and runtime failures.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace kali
+
+/// Precondition/invariant check; throws kali::Error with location info.
+#define KALI_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::kali::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (0)
+
+/// Unconditional failure.
+#define KALI_FAIL(msg) ::kali::detail::check_failed("<fail>", __FILE__, __LINE__, (msg))

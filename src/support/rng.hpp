@@ -1,0 +1,40 @@
+// Deterministic pseudo-random numbers for tests and workload generators.
+//
+// SplitMix64: tiny, fast, and fully reproducible across platforms —
+// benchmark workloads must not depend on libstdc++'s distribution details.
+#pragma once
+
+#include <cstdint>
+
+namespace kali {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [a, b).
+  double uniform(double a, double b) { return a + (b - a) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace kali

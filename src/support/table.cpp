@@ -1,0 +1,73 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  KALI_CHECK(cells.size() == headers_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    w[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(w[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(w[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    line(row);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int prec) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string fmt_time(double seconds) {
+  const double a = seconds < 0 ? -seconds : seconds;
+  if (a >= 1.0) return fmt(seconds, 3) + " s";
+  if (a >= 1e-3) return fmt(seconds * 1e3, 3) + " ms";
+  if (a >= 1e-6) return fmt(seconds * 1e6, 1) + " us";
+  return fmt(seconds * 1e9, 1) + " ns";
+}
+
+}  // namespace kali

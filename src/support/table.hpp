@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper artifact it
+// reproduces; this formatter keeps those tables aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kali {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string fmt(double v, int prec = 3);
+
+/// Scientific formatting ("1.23e-05").
+std::string fmt_sci(double v, int prec = 2);
+
+/// Seconds with an auto-chosen unit ("1.2 ms", "340 us").
+std::string fmt_time(double seconds);
+
+}  // namespace kali

@@ -1,0 +1,179 @@
+#include "solvers/adi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/context.hpp"
+#include "machine/measure.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 30.0;
+  return cfg;
+}
+
+struct Setup {
+  DistArray2<double> u;
+  DistArray2<double> f;
+};
+
+Setup make_problem(Context& ctx, const ProcView& pv, const Op2& op, int n) {
+  using D2 = DistArray2<double>;
+  const typename D2::Dists dists{DimDist::block_dist(), DimDist::block_dist()};
+  D2 u(ctx, pv, {n, n}, dists, {1, 1});
+  D2 f(ctx, pv, {n, n}, dists);
+  const double h = 1.0 / (n + 1);
+  f.fill([&](std::array<int, 2> g) {
+    return rhs2(op, (g[0] + 1) * h, (g[1] + 1) * h);
+  });
+  return {std::move(u), std::move(f)};
+}
+
+Op2 model_op(int n) {
+  Op2 op;
+  op.axx = 1.0;
+  op.ayy = 1.0;
+  op.sigma = 0.0;
+  op.hx = op.hy = 1.0 / (n + 1);
+  return op;
+}
+
+class AdiP : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(AdiP, ResidualDropsMonotonicallyAndSubstantially) {
+  const auto [px, py, pipelined] = GetParam();
+  const int n = 32;
+  Machine m(px * py, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(px, py);
+    Op2 op = model_op(n);
+    auto [u, f] = make_problem(ctx, pv, op, n);
+    AdiOptions opts;
+    opts.op = op;
+    opts.tau = adi_default_tau(op, n);
+    opts.pipelined = pipelined;
+    double prev = adi_residual_norm(op, u, f);
+    const double initial = prev;
+    for (int sweep = 0; sweep < 5; ++sweep) {
+      for (int it = 0; it < 10; ++it) {
+        adi_iterate(opts, u, f);
+      }
+      const double now = adi_residual_norm(op, u, f);
+      EXPECT_LT(now, prev) << "sweep " << sweep;
+      prev = now;
+    }
+    EXPECT_LT(prev, 1e-2 * initial);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, AdiP,
+                         ::testing::Values(std::tuple{1, 1, false},
+                                           std::tuple{2, 2, false},
+                                           std::tuple{4, 2, false},
+                                           std::tuple{2, 2, true},
+                                           std::tuple{4, 4, true}));
+
+TEST(Adi, PipelinedMatchesPlainNumerically) {
+  // Listing 7 and Listing 8 perform the same arithmetic per system; only
+  // the schedule differs, so iterates agree to machine precision.
+  const int n = 32, px = 2, py = 2, iters = 8;
+  auto run = [&](bool pipelined) {
+    Machine m(px * py, quiet_config());
+    std::vector<double> probe;  // one processor's values
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid2(px, py);
+      Op2 op = model_op(n);
+      auto [u, f] = make_problem(ctx, pv, op, n);
+      AdiOptions opts;
+      opts.op = op;
+      opts.tau = adi_default_tau(op, n);
+      opts.pipelined = pipelined;
+      for (int it = 0; it < iters; ++it) {
+        adi_iterate(opts, u, f);
+      }
+      if (ctx.rank() == 0) {
+        u.for_each_owned([&](std::array<int, 2> g) { probe.push_back(u.at(g)); });
+      }
+    });
+    return probe;
+  };
+  auto a = run(false);
+  auto b = run(true);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k], b[k], 1e-12);
+  }
+}
+
+TEST(Adi, ConvergesToManufacturedSolution) {
+  const int n = 32, px = 2, py = 2;
+  Machine m(px * py, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(px, py);
+    Op2 op = model_op(n);
+    auto [u, f] = make_problem(ctx, pv, op, n);
+    AdiOptions opts;
+    opts.op = op;
+    opts.tau = adi_default_tau(op, n);
+    adi_solve(opts, u, f, 120);
+    // Compare against the exact continuum solution: discretization error
+    // of the 5-point scheme at this resolution is ~ h^2 ~ 1e-3.
+    const double h = 1.0 / (n + 1);
+    double max_err = 0.0;
+    u.for_each_owned([&](std::array<int, 2> g) {
+      const double e = std::abs(u.at(g) - exact2((g[0] + 1) * h, (g[1] + 1) * h));
+      max_err = std::max(max_err, e);
+    });
+    EXPECT_LT(max_err, 5e-3);
+  });
+}
+
+TEST(Adi, PipelinedIsFasterInSimulatedTime) {
+  // Paper §4: "One can get better speed-ups with the pipelined version."
+  const int n = 64, px = 4, py = 4, iters = 4;
+  auto sim_time = [&](bool pipelined) {
+    Machine m(px * py, quiet_config());
+    double makespan = 0.0;
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid2(px, py);
+      Op2 op = model_op(n);
+      auto [u, f] = make_problem(ctx, pv, op, n);
+      AdiOptions opts;
+      opts.op = op;
+      opts.tau = adi_default_tau(op, n);
+      opts.pipelined = pipelined;
+      PhaseTimer timer(ctx, pv.group(ctx.rank()));
+      for (int it = 0; it < iters; ++it) {
+        adi_iterate(opts, u, f);
+      }
+      const double t = timer.finish().makespan;
+      if (ctx.rank() == 0) {
+        makespan = t;
+      }
+    });
+    return makespan;
+  };
+  EXPECT_LT(sim_time(true), sim_time(false));
+}
+
+TEST(Adi, RequiresHalo) {
+  Machine m(4, quiet_config());
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    using D2 = DistArray2<double>;
+    const typename D2::Dists dists{DimDist::block_dist(), DimDist::block_dist()};
+    D2 u(ctx, pv, {16, 16}, dists);  // no halo
+    D2 f(ctx, pv, {16, 16}, dists);
+    AdiOptions opts;
+    adi_iterate(opts, u, f);
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,168 @@
+#include "machine/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "machine/context.hpp"
+#include "runtime/proc_view.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  return cfg;
+}
+
+Group whole_machine(Context& ctx) {
+  std::vector<int> ranks(static_cast<std::size_t>(ctx.nprocs()));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return Group(std::move(ranks), ctx.rank());
+}
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, BroadcastReachesAllMembers) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    std::vector<double> data(5, ctx.rank() == 2 % p ? 3.5 : 0.0);
+    broadcast(ctx, g, 2 % p, std::span<double>(data));
+    for (double v : data) {
+      EXPECT_DOUBLE_EQ(v, 3.5);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceSumMatchesClosedForm) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    const int total = allreduce_sum(ctx, whole_machine(ctx), ctx.rank() + 1);
+    EXPECT_EQ(total, p * (p + 1) / 2);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceMax) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    const double v = allreduce_max(ctx, whole_machine(ctx),
+                                   static_cast<double>(ctx.rank()));
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(CollectivesP, ReduceOnlyRootHoldsResult) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    std::vector<int> data{ctx.rank(), 1};
+    reduce(ctx, g, 0, std::span<int>(data), [](int a, int b) { return a + b; });
+    if (g.index() == 0) {
+      EXPECT_EQ(data[0], p * (p - 1) / 2);
+      EXPECT_EQ(data[1], p);
+    }
+  });
+}
+
+TEST_P(CollectivesP, GatherConcatenatesInGroupOrder) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    // Member i contributes i+1 copies of its rank.
+    std::vector<int> mine(static_cast<std::size_t>(ctx.rank() + 1), ctx.rank());
+    auto all = gather(ctx, g, 0, std::span<const int>(mine));
+    if (g.index() == 0) {
+      std::vector<int> expect;
+      for (int i = 0; i < p; ++i) {
+        expect.insert(expect.end(), static_cast<std::size_t>(i + 1), i);
+      }
+      EXPECT_EQ(all, expect);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesP, BarrierCompletes) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    for (int round = 0; round < 3; ++round) {
+      barrier(ctx, g);
+    }
+  });
+  SUCCEED();
+}
+
+TEST_P(CollectivesP, SyncClocksAlignsToMax) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    ctx.compute(1000.0 * (ctx.rank() + 1));
+    const double t = sync_clocks(ctx, whole_machine(ctx));
+    EXPECT_DOUBLE_EQ(t, ctx.clock());
+  });
+  // After sync, no processor's clock may be below the pre-sync max.
+  const double pre_max = 1000.0 * p * m.config().flop_time;
+  for (double c : m.stats().clocks) {
+    EXPECT_GE(c, pre_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Collectives, SubgroupDoesNotDisturbOutsiders) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() < 2) {
+      Group g({0, 1}, ctx.rank());
+      EXPECT_EQ(allreduce_sum(ctx, g, 10), 20);
+    }
+    // Ranks 2,3 do nothing; run must still terminate cleanly.
+  });
+}
+
+TEST(Collectives, WorkOverStridedColumnViews) {
+  // The ADI/mg3 pattern: independent collectives on the strided column
+  // slices procs(*, jp) of a 2-D grid, running concurrently.
+  Machine m(6, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(3, 2);  // columns {0,2,4} and {1,3,5}
+    const auto coord = *pv.coord_of(ctx.rank());
+    ProcView col = pv.fix(1, coord[1]);
+    Group g = col.group(ctx.rank());
+    EXPECT_EQ(g.size(), 3);
+    const int sum = allreduce_sum(ctx, g, ctx.rank());
+    // Column jp holds ranks jp, jp+2, jp+4.
+    EXPECT_EQ(sum, 3 * coord[1] + 6);
+    std::vector<double> data{static_cast<double>(ctx.rank())};
+    broadcast(ctx, g, 0, std::span<double>(data));
+    EXPECT_DOUBLE_EQ(data[0], static_cast<double>(coord[1]));
+  });
+}
+
+TEST(Collectives, NonMemberConstructionThrows) {
+  EXPECT_THROW(Group({0, 1}, 5), Error);
+}
+
+TEST(Collectives, DisjointSubgroupsRunConcurrently) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    const bool low = ctx.rank() < 2;
+    Group g(low ? std::vector<int>{0, 1} : std::vector<int>{2, 3}, ctx.rank());
+    const int sum = allreduce_sum(ctx, g, ctx.rank());
+    EXPECT_EQ(sum, low ? 1 : 5);
+  });
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,397 @@
+#include "runtime/dist_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/context.hpp"
+#include "runtime/io.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  return cfg;
+}
+
+double tag2(int i, int j) { return 100.0 * i + j; }
+double tag3(int i, int j, int k) { return 10000.0 * i + 100.0 * j + k; }
+
+TEST(DistArray, Block1DOwnershipAndAccess) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> a(ctx, pv, {16}, {DimDist::block_dist()});
+    EXPECT_TRUE(a.participating());
+    EXPECT_EQ(a.local_count(0), 4);
+    EXPECT_EQ(a.own_lower(0), ctx.rank() * 4);
+    EXPECT_EQ(a.own_upper(0), ctx.rank() * 4 + 3);
+    for (int g = a.own_lower(0); g <= a.own_upper(0); ++g) {
+      a(g) = 2.0 * g;
+    }
+    EXPECT_TRUE(a.owns({a.own_lower(0)}));
+    EXPECT_FALSE(a.owns({(a.own_lower(0) + 4) % 16}));
+    EXPECT_DOUBLE_EQ(a(a.own_upper(0)), 2.0 * a.own_upper(0));
+  });
+}
+
+TEST(DistArray, NonOwnedAccessThrows) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()});
+    const int foreign = ctx.rank() == 0 ? 7 : 0;
+    a(foreign) = 1.0;  // not owned: must throw
+  }),
+               Error);
+}
+
+TEST(DistArray, DistributedDimsMustMatchViewRank) {
+  Machine m(4, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    // Only one distributed dim over a 2-D view: illegal (paper rule).
+    DistArray2<double> a(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::star()});
+  }),
+               Error);
+}
+
+TEST(DistArray, StarDimReplicatesExtent) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray2<double> a(ctx, pv, {3, 8},
+                         {DimDist::star(), DimDist::block_dist()});
+    EXPECT_EQ(a.local_count(0), 3);  // whole star extent everywhere
+    EXPECT_EQ(a.local_count(1), 4);
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    for (int i = 0; i < 3; ++i) {
+      for (int j = a.own_lower(1); j <= a.own_upper(1); ++j) {
+        EXPECT_DOUBLE_EQ(a(i, j), tag2(i, j));
+      }
+    }
+  });
+}
+
+TEST(DistArray, FillAndGatherGlobalRoundTrip) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {6, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    auto full = gather_global(a);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(full.size(), 48u);
+      for (int i = 0; i < 6; ++i) {
+        for (int j = 0; j < 8; ++j) {
+          EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(i * 8 + j)], tag2(i, j));
+        }
+      }
+    } else {
+      EXPECT_TRUE(full.empty());
+    }
+  });
+}
+
+TEST(DistArray, GatherAllReplicatesEverywhere) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> a(ctx, pv, {12}, {DimDist::block_dist()});
+    a.fill([](std::array<int, 1> g) { return 2.5 * g[0]; });
+    auto full = gather_all(a);
+    ASSERT_EQ(full.size(), 12u);  // every member, not just the root
+    for (int g = 0; g < 12; ++g) {
+      EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(g)], 2.5 * g);
+    }
+  });
+}
+
+TEST(DistArray, BlockCyclic2DRoundTrip) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {10, 12},
+                         {DimDist::block_cyclic(3), DimDist::cyclic()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    auto full = gather_global(a);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        for (int j = 0; j < 12; ++j) {
+          EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(i * 12 + j)],
+                           tag2(i, j));
+        }
+      }
+    }
+  });
+}
+
+TEST(DistArray, CyclicDistributionGather) {
+  Machine m(3, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(3);
+    DistArray1<int> a(ctx, pv, {10}, {DimDist::cyclic()});
+    a.fill([](std::array<int, 1> g) { return 7 * g[0]; });
+    auto full = gather_global(a);
+    if (ctx.rank() == 0) {
+      for (int g = 0; g < 10; ++g) {
+        EXPECT_EQ(full[static_cast<std::size_t>(g)], 7 * g);
+      }
+    }
+  });
+}
+
+TEST(DistArray, HaloExchange1D) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> a(ctx, pv, {16}, {DimDist::block_dist()}, {2});
+    a.fill([](std::array<int, 1> g) { return 3.0 * g[0]; });
+    a.exchange_halo();
+    const int lo = a.own_lower(0);
+    const int hi = a.own_upper(0);
+    if (lo > 0) {
+      EXPECT_DOUBLE_EQ(a.at_halo({lo - 1}), 3.0 * (lo - 1));
+      EXPECT_DOUBLE_EQ(a.at_halo({lo - 2}), 3.0 * (lo - 2));
+    }
+    if (hi < 15) {
+      EXPECT_DOUBLE_EQ(a.at_halo({hi + 1}), 3.0 * (hi + 1));
+      EXPECT_DOUBLE_EQ(a.at_halo({hi + 2}), 3.0 * (hi + 2));
+    }
+  });
+}
+
+TEST(DistArray, HaloExchange2DIncludesCorners) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()},
+                         {1, 1});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    a.exchange_halo(HaloCorners::kYes);
+    // Every interior ghost (including diagonal corners) must be valid.
+    const int ilo = a.own_lower(0), ihi = a.own_upper(0);
+    const int jlo = a.own_lower(1), jhi = a.own_upper(1);
+    for (int i = std::max(0, ilo - 1); i <= std::min(7, ihi + 1); ++i) {
+      for (int j = std::max(0, jlo - 1); j <= std::min(7, jhi + 1); ++j) {
+        EXPECT_DOUBLE_EQ(a.at_halo({i, j}), tag2(i, j)) << i << "," << j;
+      }
+    }
+  });
+}
+
+TEST(DistArray, HaloExchangeStarModeFillsEdgesInOneRound) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()},
+                         {1, 1});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    a.exchange_halo();  // HaloCorners::kNo
+    // Face ghosts (sharing a row or column with the slab) must be valid.
+    const int ilo = a.own_lower(0), ihi = a.own_upper(0);
+    const int jlo = a.own_lower(1), jhi = a.own_upper(1);
+    for (int j = jlo; j <= jhi; ++j) {
+      if (ilo > 0) {
+        EXPECT_DOUBLE_EQ(a.at_halo({ilo - 1, j}), tag2(ilo - 1, j));
+      }
+      if (ihi < 7) {
+        EXPECT_DOUBLE_EQ(a.at_halo({ihi + 1, j}), tag2(ihi + 1, j));
+      }
+    }
+    for (int i = ilo; i <= ihi; ++i) {
+      if (jlo > 0) {
+        EXPECT_DOUBLE_EQ(a.at_halo({i, jlo - 1}), tag2(i, jlo - 1));
+      }
+      if (jhi < 7) {
+        EXPECT_DOUBLE_EQ(a.at_halo({i, jhi + 1}), tag2(i, jhi + 1));
+      }
+    }
+  });
+  // One latency round: every processor sends its 2 faces (interior 2x2
+  // grid corner -> 2 neighbours each).
+  EXPECT_EQ(m.stats().totals().msgs_sent, 8u);
+}
+
+TEST(DistArray, CopyInSnapshotsOldValues) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()}, {1});
+    a.fill([](std::array<int, 1> g) { return 1.0 * g[0]; });
+    auto old = a.copy_in();
+    // Mutate the original; the snapshot must be unaffected (copy-in).
+    a.fill([](std::array<int, 1>) { return -1.0; });
+    for (int g = old.own_lower(0); g <= old.own_upper(0); ++g) {
+      EXPECT_DOUBLE_EQ(old(g), 1.0 * g);
+    }
+    // Snapshot's halo carries the *old* neighbour values.
+    if (ctx.rank() == 1) {
+      EXPECT_DOUBLE_EQ(old.at_halo({3}), 3.0);
+    }
+  });
+}
+
+TEST(DistArray, FixDistributedDimSlicesViewToOwners) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {8, 6},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    // Row 5 lives on processor row 1 (blocks of 4): procs (1,0) and (1,1).
+    auto row = a.fix(0, 5);
+    EXPECT_EQ(row.view().ndims(), 1);
+    EXPECT_EQ(row.view().extent(0), 2);
+    const bool should_own = pv.coord_of(ctx.rank()).value()[0] == 1;
+    EXPECT_EQ(row.participating(), should_own);
+    if (should_own) {
+      for (int j = row.own_lower(0); j <= row.own_upper(0); ++j) {
+        EXPECT_DOUBLE_EQ(row(j), tag2(5, j));
+      }
+      // Writes through the slice hit the parent storage.
+      row(row.own_lower(0)) = -7.0;
+      EXPECT_DOUBLE_EQ(a(5, row.own_lower(0)), -7.0);
+    }
+  });
+}
+
+TEST(DistArray, FixStarDimKeepsWholeView) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray2<double> a(ctx, pv, {5, 8},
+                         {DimDist::star(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    auto line = a.fix(0, 3);  // u(3, *): still distributed over both procs
+    EXPECT_TRUE(line.participating());
+    EXPECT_EQ(line.view().count(), 2);
+    for (int j = line.own_lower(0); j <= line.own_upper(0); ++j) {
+      EXPECT_DOUBLE_EQ(line(j), tag2(3, j));
+    }
+  });
+}
+
+TEST(DistArray, Fix3DPlaneMatchesPaperMg3Slicing) {
+  // u(0:nx, 0:ny, 0:nz) dist (*, block, block) over procs(px, py);
+  // u(*, *, k) must be a 2-D array dist (*, block) over procs(*, kp).
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray3<double> u(
+        ctx, pv, {4, 8, 8},
+        {DimDist::star(), DimDist::block_dist(), DimDist::block_dist()});
+    u.fill([](std::array<int, 3> g) { return tag3(g[0], g[1], g[2]); });
+    const int k = 6;  // owner column: 6/4 = 1
+    auto plane = u.fix(2, k);
+    EXPECT_EQ(plane.view().ndims(), 1);
+    EXPECT_EQ(plane.view().extent(0), 2);
+    const bool in_col = pv.coord_of(ctx.rank()).value()[1] == 1;
+    EXPECT_EQ(plane.participating(), in_col);
+    if (in_col) {
+      EXPECT_EQ(plane.dist_kind(0), DistKind::kStar);
+      EXPECT_EQ(plane.dist_kind(1), DistKind::kBlock);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = plane.own_lower(1); j <= plane.own_upper(1); ++j) {
+          EXPECT_DOUBLE_EQ(plane(i, j), tag3(i, j, k));
+        }
+      }
+      // Further fixing a line: u(*, j, k) is owned by a single processor.
+      auto line = plane.fix(1, 1);
+      EXPECT_EQ(line.view().count(), 1);
+      if (line.participating()) {
+        EXPECT_DOUBLE_EQ(line(2), tag3(2, 1, k));
+      }
+    }
+  });
+}
+
+TEST(DistArray, LocalizeBlockRangeBecomesStar) {
+  // Listing 8: v(lo:hi, *) where lo:hi is one processor row's block.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> v(ctx, pv, {8, 6},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    v.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    auto mine = v.localize(0, 4, 4);  // rows 4..7 = proc row 1's block
+    const bool in_row = pv.coord_of(ctx.rank()).value()[0] == 1;
+    EXPECT_EQ(mine.participating(), in_row);
+    EXPECT_EQ(mine.extent(0), 4);
+    EXPECT_EQ(mine.dist_kind(0), DistKind::kStar);
+    if (in_row) {
+      EXPECT_EQ(mine.view().count(), 2);
+      // Global index 0 of the localized dim = old global 4.
+      for (int j = mine.own_lower(1); j <= mine.own_upper(1); ++j) {
+        EXPECT_DOUBLE_EQ(mine(0, j), tag2(4, j));
+        EXPECT_DOUBLE_EQ(mine(3, j), tag2(7, j));
+      }
+    }
+  });
+}
+
+TEST(DistArray, LocalizeAcrossOwnersThrows) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()});
+    (void)a.localize(0, 2, 4);  // spans both owners
+  }),
+               Error);
+}
+
+TEST(DistArray, StridedLocalSpanOfRowSlice) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray2<double> a(ctx, pv, {4, 8},
+                         {DimDist::star(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    auto row = a.fix(0, 2);  // 1-D, block over 2 procs, strided in parent
+    auto s = row.local_strided();
+    ASSERT_EQ(s.n, 4);
+    for (int l = 0; l < s.n; ++l) {
+      EXPECT_DOUBLE_EQ(s[l], tag2(2, row.own_lower(0) + l));
+    }
+    s[0] = -9.0;
+    EXPECT_DOUBLE_EQ(a(2, row.own_lower(0)), -9.0);
+  });
+}
+
+TEST(DistArray, HaloRequiresBlockDim) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::cyclic()}, {1});
+  }),
+               Error);
+}
+
+TEST(DistArray, BoundaryFrameReadsZeroAndIsWritable) {
+  // Listing 2 semantics: the ghost frame extends past the global domain at
+  // physical boundaries, carrying Dirichlet data (zero by default).
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()}, {1});
+    a.fill([](std::array<int, 1> g) { return 1.0 * g[0]; });
+    a.exchange_halo();
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(a.at_halo({-1}), 0.0);  // frame cell, untouched
+      a.frame({-1}) = 7.5;                     // impose a boundary value
+      EXPECT_DOUBLE_EQ(a.at_halo({-1}), 7.5);
+    } else {
+      EXPECT_DOUBLE_EQ(a.at_halo({8}), 0.0);
+    }
+    // Beyond the frame is still an error.
+    EXPECT_THROW((void)a.at_halo({ctx.rank() == 0 ? -2 : 9}), Error);
+  });
+}
+
+}  // namespace
+}  // namespace kali

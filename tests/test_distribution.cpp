@@ -1,0 +1,146 @@
+#include "runtime/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+TEST(DimMap, BlockMatchesPaperLowerUpper) {
+  // Paper: processor i (1-based) owns rows (i-1)n/p+1 .. in/p; 0-based:
+  // c*n/p .. (c+1)*n/p - 1 when p divides n.
+  DimMap m(DimDist::block_dist(), 16, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.block_lower(c), c * 4);
+    EXPECT_EQ(m.block_upper(c), c * 4 + 3);
+    EXPECT_EQ(m.count(c), 4);
+  }
+  EXPECT_EQ(m.owner(0), 0);
+  EXPECT_EQ(m.owner(15), 3);
+  EXPECT_EQ(m.local(9), 1);
+}
+
+TEST(DimMap, BlockNonDividingExtent) {
+  DimMap m(DimDist::block_dist(), 10, 4);  // blocks of ceil(10/4)=3
+  EXPECT_EQ(m.count(0), 3);
+  EXPECT_EQ(m.count(1), 3);
+  EXPECT_EQ(m.count(2), 3);
+  EXPECT_EQ(m.count(3), 1);
+  int total = 0;
+  for (int c = 0; c < 4; ++c) {
+    total += m.count(c);
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(DimMap, CyclicRoundRobin) {
+  DimMap m(DimDist::cyclic(), 10, 3);
+  EXPECT_EQ(m.owner(0), 0);
+  EXPECT_EQ(m.owner(1), 1);
+  EXPECT_EQ(m.owner(2), 2);
+  EXPECT_EQ(m.owner(3), 0);
+  EXPECT_EQ(m.local(7), 2);  // 7 = 2*3 + 1 -> local 2 on proc 1
+  EXPECT_EQ(m.count(0), 4);
+  EXPECT_EQ(m.count(1), 3);
+  EXPECT_EQ(m.count(2), 3);
+}
+
+TEST(DimMap, StarOwnsEverythingOnCoordZero) {
+  DimMap m(DimDist::star(), 7, 1);
+  for (int g = 0; g < 7; ++g) {
+    EXPECT_EQ(m.owner(g), 0);
+    EXPECT_EQ(m.local(g), g);
+  }
+  EXPECT_EQ(m.count(0), 7);
+}
+
+struct MapCase {
+  DimDist dist;
+  int extent;
+  int nprocs;
+};
+
+class DimMapP : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  static DimMap make(const std::tuple<int, int, int>& t) {
+    const auto [kind, extent, nprocs] = t;
+    switch (kind) {
+      case 0:
+        return DimMap(DimDist::block_dist(), extent, nprocs);
+      case 1:
+        return DimMap(DimDist::cyclic(), extent, nprocs);
+      default:
+        return DimMap(DimDist::block_cyclic(3), extent, nprocs);
+    }
+  }
+};
+
+TEST_P(DimMapP, GlobalLocalRoundTrip) {
+  DimMap m = make(GetParam());
+  for (int g = 0; g < m.extent(); ++g) {
+    const int c = m.owner(g);
+    const int l = m.local(g);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, m.nprocs());
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, m.count(c));
+    EXPECT_EQ(m.global(c, l), g);
+  }
+}
+
+TEST_P(DimMapP, CountsPartitionExtent) {
+  DimMap m = make(GetParam());
+  int total = 0;
+  for (int c = 0; c < m.nprocs(); ++c) {
+    total += m.count(c);
+  }
+  EXPECT_EQ(total, m.extent());
+}
+
+TEST_P(DimMapP, OwnedIndicesAreExactlyOwned) {
+  DimMap m = make(GetParam());
+  std::vector<bool> seen(static_cast<std::size_t>(m.extent()), false);
+  for (int c = 0; c < m.nprocs(); ++c) {
+    for (int g : m.owned_indices(c)) {
+      EXPECT_EQ(m.owner(g), c);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(g)]) << "duplicate " << g;
+      seen[static_cast<std::size_t>(g)] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DimMapP,
+    ::testing::Combine(::testing::Values(0, 1, 2),          // kind
+                       ::testing::Values(1, 7, 16, 33, 64),  // extent
+                       ::testing::Values(1, 2, 3, 4, 8)));   // nprocs
+
+TEST(DimMap, SingleOwnerRange) {
+  DimMap b(DimDist::block_dist(), 16, 4);
+  EXPECT_TRUE(b.single_owner_range(4, 7));
+  EXPECT_FALSE(b.single_owner_range(3, 4));
+  DimMap c(DimDist::cyclic(), 16, 4);
+  EXPECT_TRUE(c.single_owner_range(5, 5));
+  EXPECT_FALSE(c.single_owner_range(5, 6));
+}
+
+TEST(DimMap, LowerOnNonBlockThrows) {
+  DimMap c(DimDist::cyclic(), 16, 4);
+  EXPECT_THROW((void)c.block_lower(0), Error);
+}
+
+TEST(DimMap, OutOfRangeThrows) {
+  DimMap m(DimDist::block_dist(), 8, 2);
+  EXPECT_THROW((void)m.owner(8), Error);
+  EXPECT_THROW((void)m.owner(-1), Error);
+  EXPECT_THROW((void)m.global(0, 4), Error);
+  EXPECT_THROW((void)m.count(2), Error);
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,139 @@
+#include "kernels/fft2.hpp"
+
+#include "kernels/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "machine/context.hpp"
+#include "runtime/io.hpp"
+#include "support/rng.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 20.0;
+  return cfg;
+}
+
+struct Layouts {
+  DistArray2<Complex> rows;
+  DistArray2<Complex> cols;
+};
+
+Layouts make(Context& ctx, const ProcView& pv, int n) {
+  using DC = DistArray2<Complex>;
+  DC rows(ctx, pv, {n, n}, {DimDist::block_dist(), DimDist::star()});
+  DC cols(ctx, pv, {n, n}, {DimDist::star(), DimDist::block_dist()});
+  return {std::move(rows), std::move(cols)};
+}
+
+class Fft2P : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Fft2P, RoundTripRecoversInput) {
+  const auto [p, n] = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    auto [rows, cols] = make(ctx, pv, n);
+    Rng rng(42);
+    std::vector<double> ref(static_cast<std::size_t>(n) * n);
+    for (auto& v : ref) {
+      v = rng.uniform(-1, 1);
+    }
+    rows.fill([&](std::array<int, 2> g) {
+      return Complex(ref[static_cast<std::size_t>(g[0] * n + g[1])], 0.0);
+    });
+    fft2_forward(ctx, rows, cols);
+    fft2_inverse(ctx, cols, rows);
+    rows.for_each_owned([&](std::array<int, 2> g) {
+      EXPECT_NEAR(rows.at(g).real(),
+                  ref[static_cast<std::size_t>(g[0] * n + g[1])], 1e-10);
+      EXPECT_NEAR(rows.at(g).imag(), 0.0, 1e-10);
+    });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Fft2P,
+                         ::testing::Values(std::tuple{1, 8}, std::tuple{2, 16},
+                                           std::tuple{4, 16},
+                                           std::tuple{4, 32}));
+
+TEST(Fft2, PlaneWaveConcentratesInOneBin) {
+  const int p = 4, n = 16, fx = 3, fy = 5;
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    auto [rows, cols] = make(ctx, pv, n);
+    rows.fill([&](std::array<int, 2> g) {
+      const double ang =
+          2.0 * std::numbers::pi * (fx * g[0] + fy * g[1]) / n;
+      return Complex(std::cos(ang), std::sin(ang));
+    });
+    fft2_forward(ctx, rows, cols);
+    cols.for_each_owned([&](std::array<int, 2> g) {
+      const double mag = std::abs(cols.at(g));
+      if (g[0] == fx && g[1] == fy) {
+        EXPECT_NEAR(mag, static_cast<double>(n) * n, 1e-8);
+      } else {
+        EXPECT_NEAR(mag, 0.0, 1e-8);
+      }
+    });
+  });
+}
+
+TEST(Fft2, MatchesSequentialTransform) {
+  const int p = 2, n = 8;
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    auto [rows, cols] = make(ctx, pv, n);
+    rows.fill([&](std::array<int, 2> g) {
+      return Complex(0.1 * g[0] - 0.2 * g[1], 0.05 * g[0] * g[1]);
+    });
+    // Sequential reference: row FFTs then column FFTs on a local copy.
+    std::vector<Complex> ref(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ref[static_cast<std::size_t>(i * n + j)] =
+            Complex(0.1 * i - 0.2 * j, 0.05 * i * j);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      fft_inplace(std::span<Complex>(ref.data() + i * n, static_cast<std::size_t>(n)));
+    }
+    std::vector<Complex> col(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        col[static_cast<std::size_t>(i)] = ref[static_cast<std::size_t>(i * n + j)];
+      }
+      fft_inplace(col);
+      for (int i = 0; i < n; ++i) {
+        ref[static_cast<std::size_t>(i * n + j)] = col[static_cast<std::size_t>(i)];
+      }
+    }
+    fft2_forward(ctx, rows, cols);
+    cols.for_each_owned([&](std::array<int, 2> g) {
+      const Complex expect = ref[static_cast<std::size_t>(g[0] * n + g[1])];
+      EXPECT_NEAR(cols.at(g).real(), expect.real(), 1e-9);
+      EXPECT_NEAR(cols.at(g).imag(), expect.imag(), 1e-9);
+    });
+  });
+}
+
+TEST(Fft2, RejectsDistributedTransformDim) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray2<Complex> a(ctx, pv, {8, 8},
+                          {DimDist::block_dist(), DimDist::star()});
+    fft_lines(a, 0, false);  // dim 0 is distributed
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace kali

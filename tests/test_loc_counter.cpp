@@ -1,0 +1,56 @@
+#include "metrics/loc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+TEST(LocCounter, ClassifiesLines) {
+  const std::string src =
+      "// header comment\n"
+      "\n"
+      "int main() {\n"
+      "  int x = 1;  // trailing comment still code\n"
+      "  /* block\n"
+      "     comment */\n"
+      "  return x; /* inline */\n"
+      "}\n";
+  LocStats s = count_loc_text(src);
+  EXPECT_EQ(s.total, 8);
+  EXPECT_EQ(s.code, 4);     // main, x, return, closing brace
+  EXPECT_EQ(s.comment, 3);  // header + 2 block lines
+  EXPECT_EQ(s.blank, 1);
+}
+
+TEST(LocCounter, BlockCommentSpanningCodeLine) {
+  const std::string src =
+      "int a; /* start\n"
+      "still comment\n"
+      "end */ int b;\n";
+  LocStats s = count_loc_text(src);
+  EXPECT_EQ(s.code, 2);     // first and last lines contain code
+  EXPECT_EQ(s.comment, 1);  // middle line
+}
+
+TEST(LocCounter, EmptyText) {
+  LocStats s = count_loc_text("");
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.code, 0);
+}
+
+TEST(LocCounter, MissingFileThrows) {
+  EXPECT_THROW((void)count_loc_file("/nonexistent/path.cpp"), Error);
+}
+
+TEST(LocCounter, CountsOwnSources) {
+  // The bench binaries rely on counting the shipped solver sources.
+  LocStats s = count_loc_file(std::string(KALITP_SOURCE_DIR) +
+                              "/src/solvers/jacobi_kf1.cpp");
+  EXPECT_GT(s.code, 10);
+  EXPECT_GT(s.comment, 0);
+}
+
+}  // namespace
+}  // namespace kali

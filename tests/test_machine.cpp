@@ -1,0 +1,249 @@
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "machine/context.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  return cfg;
+}
+
+TEST(Machine, RunsProgramOnEveryProcessor) {
+  Machine m(4, quiet_config());
+  std::vector<int> hits(4, 0);
+  m.run([&](Context& ctx) { hits[static_cast<std::size_t>(ctx.rank())] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(Machine, PingPongTransfersData) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, 7, 12345);
+      EXPECT_EQ(ctx.recv<int>(1, 8), 54321);
+    } else {
+      EXPECT_EQ(ctx.recv<int>(0, 7), 12345);
+      ctx.send<int>(0, 8, 54321);
+    }
+  });
+}
+
+TEST(Machine, SpanRoundTrip) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    std::vector<double> v{1.0, 2.5, -3.0};
+    if (ctx.rank() == 0) {
+      ctx.send_span<double>(1, 1, v);
+    } else {
+      auto got = ctx.recv_vec<double>(0, 1);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_DOUBLE_EQ(got[1], 2.5);
+    }
+  });
+}
+
+TEST(Machine, ComputeAdvancesClockDeterministically) {
+  Machine m(1, quiet_config());
+  m.run([](Context& ctx) { ctx.compute(1000.0); });
+  const double expected = 1000.0 * m.config().flop_time;
+  EXPECT_DOUBLE_EQ(m.stats().clocks[0], expected);
+  EXPECT_DOUBLE_EQ(m.stats().per_proc[0].flops, 1000.0);
+}
+
+TEST(Machine, RecvClockRespectsCausality) {
+  // Receiver is "early": its clock must jump to send_time + wire + bytes.
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.compute(1.0e6);  // sender is busy 0.1 s first
+      ctx.send<int>(1, 1, 1);
+    } else {
+      (void)ctx.recv<int>(0, 1);
+    }
+  });
+  const auto& cfg = m.config();
+  const double send_clock = 1.0e6 * cfg.flop_time + cfg.send_overhead;
+  const double arrival = send_clock + m.wire_latency(0, 1) +
+                         static_cast<double>(sizeof(int)) * cfg.byte_time;
+  EXPECT_NEAR(m.stats().clocks[1], arrival + cfg.recv_overhead, 1e-12);
+  EXPECT_NEAR(m.stats().per_proc[1].wait_time, arrival, 1e-12);
+}
+
+TEST(Machine, LateReceiverDoesNotWait) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, 1, 1);
+    } else {
+      ctx.compute(1.0e7);  // receiver busy 1 s; message long arrived
+      (void)ctx.recv<int>(0, 1);
+    }
+  });
+  EXPECT_NEAR(m.stats().per_proc[1].wait_time, 0.0, 1e-12);
+}
+
+TEST(Machine, SimulatedTimeIsReproducible) {
+  auto run_once = [] {
+    Machine m(4, quiet_config());
+    m.run([](Context& ctx) {
+      // Ring shift: deterministic communication pattern.
+      const int next = (ctx.rank() + 1) % ctx.nprocs();
+      const int prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+      ctx.compute(100.0 * (ctx.rank() + 1));
+      ctx.send<int>(next, 3, ctx.rank());
+      (void)ctx.recv<int>(prev, 3);
+    });
+    return m.stats().max_clock();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Machine, CountsMessagesAndBytes) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<double> v(10, 1.0);
+      ctx.send_span<double>(1, 1, v);
+    } else {
+      (void)ctx.recv_vec<double>(0, 1);
+    }
+  });
+  auto s = m.stats();
+  EXPECT_EQ(s.per_proc[0].msgs_sent, 1u);
+  EXPECT_EQ(s.per_proc[0].bytes_sent, 80u);
+  EXPECT_EQ(s.per_proc[1].msgs_recv, 1u);
+  EXPECT_EQ(s.per_proc[1].bytes_recv, 80u);
+}
+
+TEST(Machine, ExceptionInOneProcessorAbortsRun) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      throw Error("boom");
+    }
+    // Peer would deadlock forever without the abort broadcast.
+    (void)ctx.recv<int>(0, 99);
+  }),
+               Error);
+}
+
+TEST(Machine, ResetStatsClearsClocksAndCounters) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) { ctx.compute(10.0); });
+  m.reset_stats();
+  EXPECT_DOUBLE_EQ(m.stats().max_clock(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stats().totals().flops, 0.0);
+}
+
+TEST(Machine, TypedRecvSizeMismatchThrows) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, 1, 5);
+    } else {
+      (void)ctx.recv<double>(0, 1);  // wrong size
+    }
+  }),
+               Error);
+}
+
+TEST(MachineStats, UtilizationIsBoundedByOne) {
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) { ctx.compute(1000.0 * (1 + ctx.rank())); });
+  const double u = m.stats().compute_utilization();
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+  // Slowest proc does 4000 flops; average is 2500 -> utilization 0.625.
+  EXPECT_NEAR(u, 2500.0 / 4000.0, 1e-12);
+}
+
+TEST(Machine, WireLatencyGrowsWithHops) {
+  MachineConfig cfg;
+  cfg.topology = Topology::kHypercube;
+  Machine m(8, cfg);
+  // 0 -> 1: one hop; 0 -> 7: three hops (two extra per_hop terms).
+  EXPECT_DOUBLE_EQ(m.wire_latency(0, 1), cfg.latency);
+  EXPECT_DOUBLE_EQ(m.wire_latency(0, 7), cfg.latency + 2.0 * cfg.per_hop);
+  EXPECT_GT(m.wire_latency(0, 7), m.wire_latency(0, 1));
+}
+
+TEST(Machine, HopsAffectSimulatedTime) {
+  auto one_message_time = [](int dst) {
+    MachineConfig cfg;
+    cfg.topology = Topology::kHypercube;
+    Machine m(8, cfg);
+    m.run([&](Context& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.send<int>(dst, 1, 7);
+      } else if (ctx.rank() == dst) {
+        (void)ctx.recv<int>(0, 1);
+      }
+    });
+    return m.stats().clocks[static_cast<std::size_t>(dst)];
+  };
+  EXPECT_GT(one_message_time(7), one_message_time(1));
+}
+
+TEST(Machine, AnySourceReceivesFromEither) {
+  Machine m(3, MachineConfig{});
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int got = ctx.recv<int>(kAnySource, 9) + ctx.recv<int>(kAnySource, 9);
+      EXPECT_EQ(got, 30);  // 10 + 20 in either order
+    } else {
+      ctx.send<int>(0, 9, 10 * ctx.rank());
+    }
+  });
+}
+
+TEST(Machine, ChargeSecondsAdvancesClockWithoutFlops) {
+  Machine m(1, MachineConfig{});
+  m.run([](Context& ctx) { ctx.charge_seconds(0.25); });
+  EXPECT_DOUBLE_EQ(m.stats().max_clock(), 0.25);
+  EXPECT_DOUBLE_EQ(m.stats().totals().flops, 0.0);
+  EXPECT_DOUBLE_EQ(m.stats().totals().compute_time, 0.25);
+}
+
+TEST(Machine, RingTopologyChargesCyclicDistance) {
+  MachineConfig cfg;
+  cfg.topology = Topology::kRing;
+  Machine m(8, cfg);
+  EXPECT_DOUBLE_EQ(m.wire_latency(0, 4), cfg.latency + 3.0 * cfg.per_hop);
+  EXPECT_DOUBLE_EQ(m.wire_latency(0, 7), cfg.latency);  // wraps around
+}
+
+TEST(Machine, CausalityNoArrivalBeforeSendPlusWire) {
+  // Random traffic pattern; every receiver's clock after a recv must be at
+  // least the matching send time plus the wire terms.
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  Machine m(4, cfg);
+  m.run([&](Context& ctx) {
+    const int me = ctx.rank();
+    const int next = (me + 1) % 4;
+    const int prev = (me + 3) % 4;
+    for (int round = 0; round < 5; ++round) {
+      ctx.compute(100.0 * ((me * 7 + round * 3) % 5));
+      ctx.send<double>(next, 40 + round, ctx.clock());
+      const double send_time = ctx.recv<double>(prev, 40 + round);
+      const double min_arrival =
+          send_time + ctx.machine().wire_latency(prev, me) +
+          static_cast<double>(sizeof(double)) * cfg.byte_time;
+      EXPECT_GE(ctx.clock(), min_arrival + cfg.recv_overhead - 1e-12);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,97 @@
+#include "machine/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+Message make(int src, int tag, std::initializer_list<int> words = {}) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  for (int w : words) {
+    for (std::size_t i = 0; i < sizeof(int); ++i) {
+      m.payload.push_back(static_cast<std::byte>((w >> (8 * i)) & 0xff));
+    }
+  }
+  return m;
+}
+
+TEST(Mailbox, DeliversMatchingMessage) {
+  Mailbox mb;
+  mb.push(make(3, 42));
+  Message m = mb.recv(3, 42, 1.0);
+  EXPECT_EQ(m.src, 3);
+  EXPECT_EQ(m.tag, 42);
+}
+
+TEST(Mailbox, MatchesOnSourceAndTag) {
+  Mailbox mb;
+  mb.push(make(1, 10));
+  mb.push(make(2, 10));
+  mb.push(make(1, 20));
+  EXPECT_EQ(mb.recv(2, 10, 1.0).src, 2);
+  EXPECT_EQ(mb.recv(1, 20, 1.0).tag, 20);
+  EXPECT_EQ(mb.recv(1, 10, 1.0).src, 1);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, AnySourceMatchesFirstArrival) {
+  Mailbox mb;
+  mb.push(make(5, 7));
+  mb.push(make(6, 7));
+  EXPECT_EQ(mb.recv(kAnySource, 7, 1.0).src, 5);
+  EXPECT_EQ(mb.recv(kAnySource, 7, 1.0).src, 6);
+}
+
+TEST(Mailbox, FifoPerSourceAndTag) {
+  Mailbox mb;
+  mb.push(make(1, 5, {100}));
+  mb.push(make(1, 5, {200}));
+  Message a = mb.recv(1, 5, 1.0);
+  Message b = mb.recv(1, 5, 1.0);
+  EXPECT_EQ(static_cast<int>(a.payload[0]), 100);
+  EXPECT_EQ(static_cast<int>(b.payload[0]), 200);
+}
+
+TEST(Mailbox, TimeoutThrows) {
+  Mailbox mb;
+  EXPECT_THROW(mb.recv(0, 0, 0.05), Error);
+}
+
+TEST(Mailbox, BlockingRecvWakesOnPush) {
+  Mailbox mb;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.push(make(9, 1));
+  });
+  Message m = mb.recv(9, 1, 5.0);
+  EXPECT_EQ(m.src, 9);
+  producer.join();
+}
+
+TEST(Mailbox, AbortWakesWaiters) {
+  Mailbox mb;
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.abort();
+  });
+  EXPECT_THROW(mb.recv(0, 0, 5.0), Error);
+  aborter.join();
+}
+
+TEST(Mailbox, ProbeSeesQueuedMessage) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.probe(1, 2));
+  mb.push(make(1, 2));
+  EXPECT_TRUE(mb.probe(1, 2));
+  EXPECT_TRUE(mb.probe(kAnySource, 2));
+  EXPECT_FALSE(mb.probe(1, 3));
+}
+
+}  // namespace
+}  // namespace kali

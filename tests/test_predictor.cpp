@@ -1,0 +1,129 @@
+// The performance predictor must (a) track the simulator within a modest
+// factor and (b) rank alternative configurations in the same order — the
+// property that makes it usable as the paper's §2 tuning tool.
+#include "metrics/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/tri.hpp"
+#include "machine/context.hpp"
+#include "machine/measure.hpp"
+#include "solvers/jacobi.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 20.0;
+  return cfg;
+}
+
+double sim_tri(int n, int p) {
+  Machine m(p, quiet_config());
+  double out = 0.0;
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    DistArray1<double> f(ctx, pv, {n}, {DimDist::block_dist()});
+    DistArray1<double> x(ctx, pv, {n}, {DimDist::block_dist()});
+    f.fill([](std::array<int, 1> g) { return 1.0 + 0.1 * g[0]; });
+    PhaseTimer timer(ctx, pv.group(ctx.rank()));
+    tric(-1.0, 4.0, -1.0, f, x);
+    const double t = timer.finish().makespan;
+    if (ctx.rank() == 0) {
+      out = t;
+    }
+  });
+  return out;
+}
+
+double sim_jacobi(int n, int p_side) {
+  Machine m(p_side * p_side, quiet_config());
+  double out = 0.0;
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(p_side, p_side);
+    PhaseTimer timer(ctx, pv.group(ctx.rank()));
+    (void)jacobi_kf1(ctx, pv, n, [](int, int) { return 0.0; }, 4,
+                     /*collect=*/false);
+    const double t = timer.finish().makespan / 4.0;
+    if (ctx.rank() == 0) {
+      out = t;
+    }
+  });
+  return out;
+}
+
+TEST(Predictor, MessageTimeMatchesCostModel) {
+  MachineConfig cfg = quiet_config();
+  Predictor pr(cfg, 2);
+  Machine m(2, cfg);
+  m.run([&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<double> v(100, 1.0);
+      ctx.send_span<double>(1, 1, v);
+    } else {
+      (void)ctx.recv_vec<double>(0, 1);
+      // rank 1's clock is exactly the delivery time of one 800-byte
+      // message over 1 hop.
+      EXPECT_NEAR(ctx.clock(), pr.message(800.0, 1), 1e-12);
+    }
+  });
+}
+
+class PredictTriP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PredictTriP, WithinThirtyPercentOfSimulation) {
+  const auto [n, p] = GetParam();
+  Predictor pr(quiet_config(), p);
+  const double pred = pr.tri_solve(n, p);
+  const double sim = sim_tri(n, p);
+  EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+      << "pred=" << pred << " sim=" << sim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PredictTriP,
+                         ::testing::Values(std::tuple{1024, 4},
+                                           std::tuple{4096, 8},
+                                           std::tuple{4096, 16},
+                                           std::tuple{16384, 16}));
+
+TEST(Predictor, JacobiWithinThirtyPercent) {
+  for (int p : {2, 4}) {
+    Predictor pr(quiet_config(), p * p);
+    const double pred = pr.jacobi_iteration(64, p);
+    const double sim = sim_jacobi(64, p);
+    EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+        << "p=" << p << " pred=" << pred << " sim=" << sim;
+  }
+}
+
+TEST(Predictor, RanksProcessorGridShapesLikeSimulation) {
+  // The E8 ablation, decided from the closed form alone: square beats
+  // both degenerate shapes for ADI.
+  Predictor pr(quiet_config(), 16);
+  const double square = pr.adi_iteration(64, 4, 4, false);
+  const double wide = pr.adi_iteration(64, 16, 1, false);
+  const double tall = pr.adi_iteration(64, 1, 16, false);
+  EXPECT_LT(square, wide);
+  EXPECT_LT(square, tall);
+}
+
+TEST(Predictor, PipeliningPredictedFaster) {
+  Predictor pr(quiet_config(), 16);
+  EXPECT_LT(pr.adi_iteration(64, 4, 4, true), pr.adi_iteration(64, 4, 4, false));
+  EXPECT_LT(pr.mtri_solve(16, 1024, 8), 16.0 * pr.tri_solve(1024, 8));
+}
+
+TEST(Predictor, ScalesWithProblemSize) {
+  Predictor pr(quiet_config(), 8);
+  EXPECT_GT(pr.tri_solve(8192, 8), pr.tri_solve(1024, 8));
+  EXPECT_GT(pr.jacobi_iteration(128, 2), pr.jacobi_iteration(32, 2));
+}
+
+TEST(Predictor, NonPowerOfTwoProcsThrows) {
+  Predictor pr(quiet_config(), 6);
+  EXPECT_THROW((void)pr.tri_solve(128, 6), Error);
+}
+
+}  // namespace
+}  // namespace kali

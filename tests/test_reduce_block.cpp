@@ -1,0 +1,134 @@
+// Structural verification of the paper's Figures 1, 2 and 4: the two-sided
+// block elimination leaves boundary rows coupled to each other and to the
+// outside, and interior rows depending only on the block boundary values.
+#include "kernels/reduce_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/thomas.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace kali {
+namespace {
+
+struct System {
+  std::vector<double> b, a, c, f, x;
+};
+
+// Random diagonally dominant global system of size n with exact solution.
+System random_system(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  System s;
+  const auto un = static_cast<std::size_t>(n);
+  s.b.assign(un, 0.0);
+  s.a.assign(un, 0.0);
+  s.c.assign(un, 0.0);
+  s.f.assign(un, 0.0);
+  s.x.assign(un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) {
+    s.b[i] = i == 0 ? 0.0 : rng.uniform(-1, 1);
+    s.c[i] = i + 1 == un ? 0.0 : rng.uniform(-1, 1);
+    s.a[i] = std::abs(s.b[i]) + std::abs(s.c[i]) + rng.uniform(1.0, 2.0);
+    s.f[i] = rng.uniform(-10, 10);
+  }
+  thomas_solve(s.b, s.a, s.c, s.f, s.x);
+  return s;
+}
+
+class ReduceBlockP : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReduceBlockP, ReducedEquationsHoldForExactSolution) {
+  const auto [n, lo, m] = GetParam();
+  System s = random_system(42u + static_cast<std::uint64_t>(n * 100 + lo), n);
+
+  // Extract the block rows [lo, lo+m) and reduce them.
+  std::vector<double> b(s.b.begin() + lo, s.b.begin() + lo + m);
+  std::vector<double> a(s.a.begin() + lo, s.a.begin() + lo + m);
+  std::vector<double> c(s.c.begin() + lo, s.c.begin() + lo + m);
+  std::vector<double> f(s.f.begin() + lo, s.f.begin() + lo + m);
+  reduce_block(b, a, c, f);
+
+  const auto um = static_cast<std::size_t>(m);
+  const double x0 = s.x[static_cast<std::size_t>(lo)];
+  const double xm1 = s.x[static_cast<std::size_t>(lo + m - 1)];
+  const double xleft = lo > 0 ? s.x[static_cast<std::size_t>(lo - 1)] : 0.0;
+  const double xright =
+      lo + m < n ? s.x[static_cast<std::size_t>(lo + m)] : 0.0;
+
+  // Figure 1/2: boundary row equations couple (left, x0, xm1) and
+  // (x0, xm1, right) respectively.
+  EXPECT_NEAR(b[0] * xleft + a[0] * x0 + c[0] * xm1, f[0], 1e-9);
+  EXPECT_NEAR(b[um - 1] * x0 + a[um - 1] * xm1 + c[um - 1] * xright,
+              f[um - 1], 1e-9);
+
+  // Interior rows: b -> x0 coupling, c -> xm1 coupling.
+  for (std::size_t j = 1; j + 1 < um; ++j) {
+    EXPECT_NEAR(b[j] * x0 + a[j] * s.x[static_cast<std::size_t>(lo) + j] +
+                    c[j] * xm1,
+                f[j], 1e-9)
+        << "row " << j;
+  }
+
+  // Figure 4: back substitution reproduces the exact interior values.
+  std::vector<double> xs(um);
+  back_substitute_block(b, a, c, f, x0, xm1, xs);
+  for (std::size_t j = 0; j < um; ++j) {
+    EXPECT_NEAR(xs[j], s.x[static_cast<std::size_t>(lo) + j], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, ReduceBlockP,
+    ::testing::Values(std::tuple{16, 4, 4},    // interior block
+                      std::tuple{16, 0, 4},    // leftmost block
+                      std::tuple{16, 12, 4},   // rightmost block
+                      std::tuple{16, 6, 2},    // minimal block (m = 2)
+                      std::tuple{16, 5, 3},    // m = 3 (one interior row)
+                      std::tuple{64, 24, 16},  // larger block
+                      std::tuple{8, 0, 8}));   // whole system as one block
+
+TEST(ReduceBlock, PairsFormReducedTridiagonalSystem) {
+  // Figure 1's key claim: the 2p boundary rows, in order
+  // l_0, u_0, l_1, u_1, ..., form a tridiagonal system whose solution
+  // matches the original system's values at those rows.
+  const int n = 32, p = 4, mb = n / p;
+  System s = random_system(77, n);
+
+  std::vector<double> rb, ra, rc, rf;  // reduced system of size 2p
+  for (int q = 0; q < p; ++q) {
+    const int lo = q * mb;
+    std::vector<double> b(s.b.begin() + lo, s.b.begin() + lo + mb);
+    std::vector<double> a(s.a.begin() + lo, s.a.begin() + lo + mb);
+    std::vector<double> c(s.c.begin() + lo, s.c.begin() + lo + mb);
+    std::vector<double> f(s.f.begin() + lo, s.f.begin() + lo + mb);
+    reduce_block(b, a, c, f);
+    const auto um = static_cast<std::size_t>(mb);
+    rb.push_back(b[0]);
+    ra.push_back(a[0]);
+    rc.push_back(c[0]);
+    rf.push_back(f[0]);
+    rb.push_back(b[um - 1]);
+    ra.push_back(a[um - 1]);
+    rc.push_back(c[um - 1]);
+    rf.push_back(f[um - 1]);
+  }
+  std::vector<double> rx(static_cast<std::size_t>(2 * p));
+  thomas_solve(rb, ra, rc, rf, rx);
+  for (int q = 0; q < p; ++q) {
+    EXPECT_NEAR(rx[static_cast<std::size_t>(2 * q)],
+                s.x[static_cast<std::size_t>(q * mb)], 1e-9);
+    EXPECT_NEAR(rx[static_cast<std::size_t>(2 * q + 1)],
+                s.x[static_cast<std::size_t>(q * mb + mb - 1)], 1e-9);
+  }
+}
+
+TEST(ReduceBlock, TooSmallBlockThrows) {
+  std::vector<double> one(1, 1.0);
+  EXPECT_THROW(reduce_block(one, one, one, one), Error);
+}
+
+}  // namespace
+}  // namespace kali

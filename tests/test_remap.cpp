@@ -1,0 +1,136 @@
+#include "runtime/remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/context.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  return cfg;
+}
+
+double tag2(int i, int j) { return 100.0 * i + j; }
+
+TEST(Remap, InjectEvenIndicesToCoarse) {
+  // Restriction-style: coarse[K] = fine[2K], misaligned block boundaries.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> fine(ctx, pv, {17}, {DimDist::block_dist()});
+    DistArray1<double> coarse(ctx, pv, {9}, {DimDist::block_dist()});
+    fine.fill([](std::array<int, 1> g) { return 10.0 * g[0]; });
+    copy_strided_dim(ctx, fine, coarse, 0, /*s_stride=*/2, /*s_off=*/0,
+                     /*d_stride=*/1, /*d_off=*/0, 9);
+    coarse.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(coarse.at(g), 20.0 * g[0]);
+    });
+  });
+}
+
+TEST(Remap, SpreadCoarseToEvenFine) {
+  // Interpolation-style: fine[2K] = coarse[K]; odd entries untouched.
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> coarse(ctx, pv, {5}, {DimDist::block_dist()});
+    DistArray1<double> fine(ctx, pv, {9}, {DimDist::block_dist()});
+    coarse.fill([](std::array<int, 1> g) { return 3.0 * g[0] + 1.0; });
+    fine.fill_value(-1.0);
+    copy_strided_dim(ctx, coarse, fine, 0, 1, 0, 2, 0, 5);
+    fine.for_each_owned([&](std::array<int, 1> g) {
+      if (g[0] % 2 == 0) {
+        EXPECT_DOUBLE_EQ(fine.at(g), 3.0 * (g[0] / 2) + 1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(fine.at(g), -1.0);
+      }
+    });
+  });
+}
+
+TEST(Remap, OffsetsAndCount) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> src(ctx, pv, {12}, {DimDist::block_dist()});
+    DistArray1<double> dst(ctx, pv, {12}, {DimDist::block_dist()});
+    src.fill([](std::array<int, 1> g) { return 1.0 * g[0]; });
+    dst.fill_value(0.0);
+    // dst[3t + 1] = src[2t + 2] for t = 0..2.
+    copy_strided_dim(ctx, src, dst, 0, 2, 2, 3, 1, 3);
+    dst.for_each_owned([&](std::array<int, 1> g) {
+      const int i = g[0];
+      if (i == 1 || i == 4 || i == 7) {
+        EXPECT_DOUBLE_EQ(dst.at(g), 2.0 * ((i - 1) / 3) + 2.0);
+      } else {
+        EXPECT_DOUBLE_EQ(dst.at(g), 0.0);
+      }
+    });
+  });
+}
+
+TEST(Remap, MultidimensionalIdentityOffDim) {
+  // 2-D: coarsen dim 1, dim 0 carried through unchanged.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    using D2 = DistArray2<double>;
+    const typename D2::Dists dists{DimDist::star(), DimDist::block_dist()};
+    D2 fine(ctx, pv, {5, 17}, dists);
+    D2 coarse(ctx, pv, {5, 9}, dists);
+    fine.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    copy_strided_dim(ctx, fine, coarse, 1, 2, 0, 1, 0, 9);
+    coarse.for_each_owned([&](std::array<int, 2> g) {
+      EXPECT_DOUBLE_EQ(coarse.at(g), tag2(g[0], 2 * g[1]));
+    });
+  });
+}
+
+TEST(Remap, CrossDistributionTransfer) {
+  // Source distributed over the full view, destination over a single
+  // processor sub-view (the multigrid agglomeration pattern).
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    ProcView pv1 = ProcView::grid1(1, pv.rank_of1(0));
+    DistArray1<double> src(ctx, pv, {16}, {DimDist::block_dist()});
+    DistArray1<double> dst(ctx, pv1, {16}, {DimDist::block_dist()});
+    src.fill([](std::array<int, 1> g) { return 5.0 * g[0]; });
+    copy_strided_dim(ctx, src, dst, 0, 1, 0, 1, 0, 16);
+    if (dst.participating()) {
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_DOUBLE_EQ(dst(i), 5.0 * i);
+      }
+    }
+  });
+}
+
+TEST(Remap, ExtentMismatchOffDimThrows) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    using D2 = DistArray2<double>;
+    const typename D2::Dists dists{DimDist::star(), DimDist::block_dist()};
+    D2 a(ctx, pv, {4, 8}, dists);
+    D2 b(ctx, pv, {5, 8}, dists);  // off-dim extent differs
+    copy_strided_dim(ctx, a, b, 1, 1, 0, 1, 0, 8);
+  }),
+               Error);
+}
+
+TEST(Remap, RangeOverflowThrows) {
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()});
+    DistArray1<double> b(ctx, pv, {8}, {DimDist::block_dist()});
+    copy_strided_dim(ctx, a, b, 0, 2, 0, 1, 0, 5);  // src needs index 8
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,130 @@
+#include "kernels/thomas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace kali {
+namespace {
+
+// Dense residual check: ||A x - f||_inf.
+double residual_inf(std::span<const double> b, std::span<const double> a,
+                    std::span<const double> c, std::span<const double> f,
+                    std::span<const double> x) {
+  const std::size_t n = a.size();
+  double r = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = a[i] * x[i];
+    if (i > 0) {
+      ax += b[i] * x[i - 1];
+    }
+    if (i + 1 < n) {
+      ax += c[i] * x[i + 1];
+    }
+    r = std::max(r, std::abs(ax - f[i]));
+  }
+  return r;
+}
+
+void random_dominant_system(Rng& rng, std::size_t n, std::vector<double>& b,
+                            std::vector<double>& a, std::vector<double>& c,
+                            std::vector<double>& f) {
+  b.assign(n, 0.0);
+  a.assign(n, 0.0);
+  c.assign(n, 0.0);
+  f.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = i == 0 ? 0.0 : rng.uniform(-1.0, 1.0);
+    c[i] = i + 1 == n ? 0.0 : rng.uniform(-1.0, 1.0);
+    a[i] = std::abs(b[i]) + std::abs(c[i]) + rng.uniform(1.0, 2.0);
+    f[i] = rng.uniform(-10.0, 10.0);
+  }
+}
+
+TEST(Thomas, SolvesIdentity) {
+  std::vector<double> b{0, 0, 0}, a{1, 1, 1}, c{0, 0, 0}, f{3, -1, 2}, x(3);
+  thomas_solve(b, a, c, f, x);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+TEST(Thomas, SolvesKnownLaplacianSystem) {
+  // -x_{i-1} + 2 x_i - x_{i+1} = h^2, Dirichlet -> parabola.
+  const int n = 15;
+  std::vector<double> b(n, -1.0), a(n, 2.0), c(n, -1.0), f(n, 1.0), x(n);
+  thomas_solve(b, a, c, f, x);
+  // Exact solution of the discrete problem: x_i = (i+1)(n-i)/2.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], 0.5 * (i + 1) * (n - i), 1e-10);
+  }
+}
+
+class ThomasP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThomasP, RandomDominantSystemsHaveTinyResidual) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(1234 + n);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<double> b, a, c, f, x(n);
+    random_dominant_system(rng, n, b, a, c, f);
+    thomas_solve(b, a, c, f, x);
+    EXPECT_LT(residual_inf(b, a, c, f, x), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThomasP, ::testing::Values(1, 2, 3, 5, 16, 64, 257));
+
+TEST(Thomas, ConstCoefficientMatchesGeneral) {
+  const std::size_t n = 20;
+  std::vector<double> f(n), x1(n), x2(n);
+  Rng rng(9);
+  for (auto& v : f) {
+    v = rng.uniform(-1, 1);
+  }
+  thomas_solve_const(-1.0, 4.0, -1.0, f, x1);
+  std::vector<double> b(n, -1.0), a(n, 4.0), c(n, -1.0);
+  thomas_solve(b, a, c, f, x2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+  }
+}
+
+TEST(Thomas, StridedVariantMatchesContiguous) {
+  const int n = 10;
+  std::vector<double> packed(static_cast<std::size_t>(3 * n));
+  Rng rng(5);
+  std::vector<double> b(n), a(n), c(n), f(n), x(n);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    b[u] = i == 0 ? 0.0 : rng.uniform(-1, 1);
+    c[u] = i == n - 1 ? 0.0 : rng.uniform(-1, 1);
+    a[u] = 3.0 + std::abs(b[u]) + std::abs(c[u]);
+    f[u] = rng.uniform(-5, 5);
+    packed[static_cast<std::size_t>(3 * i)] = f[u];
+  }
+  thomas_solve(b, a, c, f, x);
+  std::vector<double> xs(static_cast<std::size_t>(3 * n));
+  thomas_solve_strided({b.data(), 1, n}, {a.data(), 1, n}, {c.data(), 1, n},
+                       {packed.data(), 3, n}, {xs.data(), 3, n});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(xs[static_cast<std::size_t>(3 * i)],
+                x[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Thomas, SizeMismatchThrows) {
+  std::vector<double> b(3), a(4), c(4), f(4), x(4);
+  EXPECT_THROW(thomas_solve(b, a, c, f, x), Error);
+}
+
+TEST(Thomas, ZeroPivotThrows) {
+  std::vector<double> b{0, 1}, a{0, 1}, c{1, 0}, f{1, 1}, x(2);
+  EXPECT_THROW(thomas_solve(b, a, c, f, x), Error);
+}
+
+}  // namespace
+}  // namespace kali

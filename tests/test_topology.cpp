@@ -1,0 +1,59 @@
+#include "machine/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+TEST(Topology, CompleteIsOneHop) {
+  EXPECT_EQ(hop_count(Topology::kComplete, 8, 0, 7), 1);
+  EXPECT_EQ(hop_count(Topology::kComplete, 8, 3, 3), 0);
+}
+
+TEST(Topology, RingUsesCyclicDistance) {
+  EXPECT_EQ(hop_count(Topology::kRing, 8, 0, 1), 1);
+  EXPECT_EQ(hop_count(Topology::kRing, 8, 0, 7), 1);  // wraps
+  EXPECT_EQ(hop_count(Topology::kRing, 8, 0, 4), 4);
+  EXPECT_EQ(hop_count(Topology::kRing, 8, 2, 6), 4);
+}
+
+TEST(Topology, HypercubeUsesHammingDistance) {
+  EXPECT_EQ(hop_count(Topology::kHypercube, 8, 0, 7), 3);  // 000 vs 111
+  EXPECT_EQ(hop_count(Topology::kHypercube, 8, 5, 6), 2);  // 101 vs 110
+  EXPECT_EQ(hop_count(Topology::kHypercube, 8, 4, 4), 0);
+}
+
+TEST(Topology, MeshFactorizationIsNearSquare) {
+  EXPECT_EQ(mesh_rows(16), 4);
+  EXPECT_EQ(mesh_rows(12), 3);
+  EXPECT_EQ(mesh_rows(1), 1);
+}
+
+TEST(Topology, MeshManhattanDistance) {
+  // 16 procs -> 4x4 mesh; rank = 4*row + col.
+  EXPECT_EQ(hop_count(Topology::kMesh2D, 16, 0, 5), 2);   // (0,0)->(1,1)
+  EXPECT_EQ(hop_count(Topology::kMesh2D, 16, 0, 15), 6);  // (0,0)->(3,3)
+  EXPECT_EQ(hop_count(Topology::kMesh2D, 16, 3, 3), 0);
+}
+
+TEST(Topology, SymmetricAndZeroOnDiagonal) {
+  for (auto topo : {Topology::kComplete, Topology::kRing, Topology::kMesh2D,
+                    Topology::kHypercube}) {
+    for (int a = 0; a < 12; ++a) {
+      EXPECT_EQ(hop_count(topo, 12, a, a), 0);
+      for (int b = 0; b < 12; ++b) {
+        EXPECT_EQ(hop_count(topo, 12, a, b), hop_count(topo, 12, b, a));
+      }
+    }
+  }
+}
+
+TEST(Topology, OutOfRangeRankThrows) {
+  EXPECT_THROW(hop_count(Topology::kRing, 4, 0, 4), Error);
+  EXPECT_THROW(hop_count(Topology::kRing, 4, -1, 0), Error);
+}
+
+}  // namespace
+}  // namespace kali

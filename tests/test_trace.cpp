@@ -1,0 +1,39 @@
+#include "machine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+TEST(ActivityTrace, MarksAndCounts) {
+  ActivityTrace tr(3, 4);
+  tr.mark(0, 0, 'R');
+  tr.mark(0, 2, 'R');
+  tr.mark(1, 1, 'S');
+  EXPECT_EQ(tr.active_count(0), 2);
+  EXPECT_EQ(tr.active_count(1), 1);
+  EXPECT_EQ(tr.active_count(2), 0);
+  EXPECT_EQ(tr.at(0, 0), 'R');
+  EXPECT_EQ(tr.at(0, 1), '.');
+}
+
+TEST(ActivityTrace, RenderContainsAllRows) {
+  ActivityTrace tr(2, 3);
+  tr.mark(0, 0, 'x');
+  const std::string s = tr.render({"phase A", "phase B"});
+  EXPECT_NE(s.find("phase A"), std::string::npos);
+  EXPECT_NE(s.find("phase B"), std::string::npos);
+  EXPECT_NE(s.find('x'), std::string::npos);
+}
+
+TEST(ActivityTrace, OutOfRangeThrows) {
+  ActivityTrace tr(2, 2);
+  EXPECT_THROW(tr.mark(2, 0, 'a'), Error);
+  EXPECT_THROW(tr.mark(0, 2, 'a'), Error);
+  EXPECT_THROW((void)tr.at(-1, 0), Error);
+}
+
+}  // namespace
+}  // namespace kali
