@@ -40,8 +40,9 @@ Result run_variant(int variant, int p, int n, int iters) {
     }
   });
   auto s = m.stats();
-  return {s.max_clock() / iters, s.totals().msgs_sent / iters,
-          s.totals().bytes_sent / iters};
+  return {s.max_clock() / iters,
+          s.totals().msgs_sent / static_cast<std::uint64_t>(iters),
+          s.totals().bytes_sent / static_cast<std::uint64_t>(iters)};
 }
 
 double max_difference(int p, int n, int iters) {

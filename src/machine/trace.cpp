@@ -1,30 +1,39 @@
 #include "machine/trace.hpp"
 
+#include <cstddef>
 #include <sstream>
 
 #include "support/check.hpp"
 
 namespace kali {
+namespace {
+
+std::size_t cell(int row, int ncols, int col) {
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(ncols) +
+         static_cast<std::size_t>(col);
+}
+
+}  // namespace
 
 void ActivityTrace::resize(int nsteps, int nprocs) {
   std::lock_guard<std::mutex> lk(mu_);
   nsteps_ = nsteps;
   nprocs_ = nprocs;
-  cells_.assign(static_cast<std::size_t>(nsteps) * nprocs, '.');
+  cells_.assign(static_cast<std::size_t>(nsteps) * static_cast<std::size_t>(nprocs), '.');
 }
 
 void ActivityTrace::mark(int step, int proc, char symbol) {
   std::lock_guard<std::mutex> lk(mu_);
   KALI_CHECK(step >= 0 && step < nsteps_ && proc >= 0 && proc < nprocs_,
              "trace mark out of range");
-  cells_[static_cast<std::size_t>(step) * nprocs_ + proc] = symbol;
+  cells_[cell(step, nprocs_, proc)] = symbol;
 }
 
 char ActivityTrace::at(int step, int proc) const {
   std::lock_guard<std::mutex> lk(mu_);
   KALI_CHECK(step >= 0 && step < nsteps_ && proc >= 0 && proc < nprocs_,
              "trace read out of range");
-  return cells_[static_cast<std::size_t>(step) * nprocs_ + proc];
+  return cells_[cell(step, nprocs_, proc)];
 }
 
 int ActivityTrace::count(int step, char symbol) const {
@@ -32,7 +41,7 @@ int ActivityTrace::count(int step, char symbol) const {
   KALI_CHECK(step >= 0 && step < nsteps_, "step out of range");
   int n = 0;
   for (int p = 0; p < nprocs_; ++p) {
-    if (cells_[static_cast<std::size_t>(step) * nprocs_ + p] == symbol) {
+    if (cells_[cell(step, nprocs_, p)] == symbol) {
       ++n;
     }
   }
@@ -44,7 +53,7 @@ int ActivityTrace::active_count(int step) const {
   KALI_CHECK(step >= 0 && step < nsteps_, "step out of range");
   int n = 0;
   for (int p = 0; p < nprocs_; ++p) {
-    if (cells_[static_cast<std::size_t>(step) * nprocs_ + p] != '.') {
+    if (cells_[cell(step, nprocs_, p)] != '.') {
       ++n;
     }
   }
@@ -61,11 +70,11 @@ std::string ActivityTrace::render(const std::vector<std::string>& step_labels) c
   os << '\n';
   for (int s = 0; s < nsteps_; ++s) {
     std::string label =
-        s < static_cast<int>(step_labels.size()) ? step_labels[s] : ("step " + std::to_string(s));
+        s < static_cast<int>(step_labels.size()) ? step_labels[static_cast<std::size_t>(s)] : ("step " + std::to_string(s));
     label.resize(16, ' ');
     os << label << ' ';
     for (int p = 0; p < nprocs_; ++p) {
-      os << cells_[static_cast<std::size_t>(s) * nprocs_ + p];
+      os << cells_[cell(s, nprocs_, p)];
     }
     os << '\n';
   }

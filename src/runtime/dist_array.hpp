@@ -33,6 +33,12 @@ inline constexpr int kTagHaloBase = 1 << 20;
 /// Whether a halo exchange must also fill diagonal corner ghosts.
 enum class HaloCorners { kNo, kYes };
 
+/// Index/extent tuple for a rank-R array.  R is signed (Fortran-flavoured)
+/// throughout the API; the cast keeps instantiation sites clean under
+/// -Wsign-conversion.
+template <int R>
+using GIndex = std::array<int, static_cast<std::size_t>(R)>;
+
 /// Strided 1-D window over local memory; what sequential kernels consume.
 template <class T>
 struct Strided {
@@ -53,10 +59,12 @@ template <class T, int R>
 class DistArray {
   static_assert(R >= 1 && R <= 3, "DistArray supports ranks 1..3");
 
+  static constexpr std::size_t UR = static_cast<std::size_t>(R);
+
  public:
-  using Extents = std::array<int, R>;
-  using Dists = std::array<DimDist, R>;
-  using Halos = std::array<int, R>;
+  using Extents = GIndex<R>;
+  using Dists = std::array<DimDist, UR>;
+  using Halos = std::array<int, UR>;
 
   DistArray() = default;
 
@@ -271,7 +279,7 @@ class DistArray {
     if (!member_) {
       return;
     }
-    std::array<std::vector<int>, R> own;
+    std::array<std::vector<int>, UR> own;
     for (int d = 0; d < R; ++d) {
       own[static_cast<std::size_t>(d)] = owned(d);
       if (own[static_cast<std::size_t>(d)].empty()) {
@@ -279,7 +287,7 @@ class DistArray {
       }
     }
     Extents g{};
-    std::array<std::size_t, R> pos{};
+    std::array<std::size_t, UR> pos{};
     for (;;) {
       for (int d = 0; d < R; ++d) {
         const auto ud = static_cast<std::size_t>(d);
@@ -326,7 +334,7 @@ class DistArray {
     // Copy the full slab (owned + halo) element-wise (layouts may differ
     // when *this is a slice of a larger array).
     std::ptrdiff_t copied = 0;
-    visit_slab([&](const std::array<int, R>& rel) {
+    visit_slab([&](const GIndex<R>& rel) {
       (*c.store_)[static_cast<std::size_t>(c.rel_flat(rel))] =
           (*store_)[static_cast<std::size_t>(rel_flat_of(*this, rel))];
       ++copied;
@@ -540,7 +548,7 @@ class DistArray {
   }
 
   /// Flat position of slab-relative coordinates (rel in [-halo, count+halo)).
-  static std::ptrdiff_t rel_flat_of(const DistArray& a, const std::array<int, R>& rel) {
+  static std::ptrdiff_t rel_flat_of(const DistArray& a, const GIndex<R>& rel) {
     std::ptrdiff_t f = a.offset_;
     for (int d = 0; d < R; ++d) {
       const auto ud = static_cast<std::size_t>(d);
@@ -548,16 +556,16 @@ class DistArray {
     }
     return f;
   }
-  [[nodiscard]] std::ptrdiff_t rel_flat(const std::array<int, R>& rel) const {
+  [[nodiscard]] std::ptrdiff_t rel_flat(const GIndex<R>& rel) const {
     return rel_flat_of(*this, rel);
   }
 
   /// Visit all slab-relative coordinates including halo margins.
   template <class Fn>
   void visit_slab(Fn fn) const {
-    std::array<int, R> rel{};
-    std::array<int, R> lo{};
-    std::array<int, R> hi{};
+    GIndex<R> rel{};
+    GIndex<R> lo{};
+    GIndex<R> hi{};
     for (int d = 0; d < R; ++d) {
       const auto ud = static_cast<std::size_t>(d);
       lo[ud] = -halo_[ud];
@@ -591,9 +599,9 @@ class DistArray {
   void visit_face(int dim, int side, bool owned_side, bool wide, Fn fn) const {
     const auto ud = static_cast<std::size_t>(dim);
     const int h = halo_[ud];
-    std::array<int, R> rel{};
-    std::array<int, R> lo{};
-    std::array<int, R> hi{};
+    GIndex<R> rel{};
+    GIndex<R> lo{};
+    GIndex<R> hi{};
     for (int d = 0; d < R; ++d) {
       const auto sd = static_cast<std::size_t>(d);
       lo[sd] = wide ? -halo_[sd] : 0;
@@ -652,7 +660,7 @@ class DistArray {
     if (left >= 0) {
       buf.clear();
       visit_face(d, 0, /*owned_side=*/true, wide,
-                 [&](const std::array<int, R>& rel) {
+                 [&](const GIndex<R>& rel) {
                    buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
                  });
       ctx_->send_span<T>(left, tag_hi, buf);
@@ -661,7 +669,7 @@ class DistArray {
     if (right >= 0) {
       buf.clear();
       visit_face(d, 1, /*owned_side=*/true, wide,
-                 [&](const std::array<int, R>& rel) {
+                 [&](const GIndex<R>& rel) {
                    buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
                  });
       ctx_->send_span<T>(right, tag_lo, buf);
@@ -680,7 +688,7 @@ class DistArray {
       auto in = ctx_->recv_vec<T>(left, tag_lo);
       std::size_t k = 0;
       visit_face(d, 0, /*owned_side=*/false, wide,
-                 [&](const std::array<int, R>& rel) {
+                 [&](const GIndex<R>& rel) {
                    (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
                  });
       KALI_CHECK(k == in.size(), "halo size mismatch (low)");
@@ -690,7 +698,7 @@ class DistArray {
       auto in = ctx_->recv_vec<T>(right, tag_hi);
       std::size_t k = 0;
       visit_face(d, 1, /*owned_side=*/false, wide,
-                 [&](const std::array<int, R>& rel) {
+                 [&](const GIndex<R>& rel) {
                    (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
                  });
       KALI_CHECK(k == in.size(), "halo size mismatch (high)");
@@ -704,13 +712,13 @@ class DistArray {
   Extents extents_{};
   Dists dists_{};
   Halos halo_{};
-  std::array<DimMap, R> maps_{};
-  std::array<int, R> proc_dim_{};  ///< grid dim per array dim; -1 for star
+  std::array<DimMap, UR> maps_{};
+  std::array<int, UR> proc_dim_{};  ///< grid dim per array dim; -1 for star
   bool member_ = false;
   std::array<int, kMaxProcDims> view_coord_{};
-  std::array<int, R> my_coord_{};
-  std::array<int, R> lcount_{};
-  std::array<std::ptrdiff_t, R> strides_{};
+  std::array<int, UR> my_coord_{};
+  std::array<int, UR> lcount_{};
+  std::array<std::ptrdiff_t, UR> strides_{};
   std::ptrdiff_t offset_ = 0;
   std::shared_ptr<std::vector<T>> store_;
 };

@@ -39,7 +39,7 @@ std::vector<T> gather_global(const DistArray<T, R>& A) {
   }
   Context& ctx = A.context();
   std::vector<detail::IdxVal<T>> mine;
-  A.for_each_owned([&](std::array<int, R> g) {
+  A.for_each_owned([&](GIndex<R> g) {
     mine.push_back({linearize(A, g), A.at(g)});
   });
   Group grp = A.group();

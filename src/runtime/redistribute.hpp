@@ -26,7 +26,7 @@ namespace detail {
 /// Owner machine-rank of a global index under array `A`'s descriptor
 /// (computable by any processor, member or not).
 template <class T, int R>
-int owner_rank(const DistArray<T, R>& A, std::array<int, R> g) {
+int owner_rank(const DistArray<T, R>& A, GIndex<R> g) {
   std::array<int, kMaxProcDims> coord{};
   for (int d = 0; d < R; ++d) {
     const auto ud = static_cast<std::size_t>(d);
@@ -38,8 +38,8 @@ int owner_rank(const DistArray<T, R>& A, std::array<int, R> g) {
 }
 
 template <int R>
-std::array<int, R> delinearize(std::int64_t f, const std::array<int, R>& ext) {
-  std::array<int, R> g{};
+GIndex<R> delinearize(std::int64_t f, const GIndex<R>& ext) {
+  GIndex<R> g{};
   for (int d = R - 1; d >= 0; --d) {
     const auto ud = static_cast<std::size_t>(d);
     g[ud] = static_cast<int>(f % ext[ud]);
@@ -55,7 +55,7 @@ std::array<int, R> delinearize(std::int64_t f, const std::array<int, R>& ext) {
 /// For star (replicated) dims in dst, every replica receives a copy.
 template <class T, int R>
 void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst) {
-  std::array<int, R> ext{};
+  GIndex<R> ext{};
   for (int d = 0; d < R; ++d) {
     KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
     ext[static_cast<std::size_t>(d)] = src.extent(d);
@@ -84,7 +84,7 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
   if (in_src) {
     peers = dst_ranks_all;
     outgoing.assign(peers.size(), {});
-    src.for_each_owned([&](std::array<int, R> g) {
+    src.for_each_owned([&](GIndex<R> g) {
       const std::int64_t f = linearize(src, g);
       // All dst replicas that own g:
       for (std::size_t pi = 0; pi < peers.size(); ++pi) {

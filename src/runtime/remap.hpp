@@ -50,12 +50,12 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
   std::vector<int> dst_ranks = dst.view().ranks();
   if (in_src) {
     std::vector<std::vector<Packet>> outgoing(dst_ranks.size());
-    src.for_each_owned([&](std::array<int, R> g) {
+    src.for_each_owned([&](GIndex<R> g) {
       const int rel = g[ud] - s_off;
       if (rel < 0 || rel % s_stride != 0 || rel / s_stride >= count) {
         return;
       }
-      std::array<int, R> gd = g;
+      GIndex<R> gd = g;
       gd[ud] = d_off + (rel / s_stride) * d_stride;
       const T v = src.at(g);
       for (std::size_t pi = 0; pi < dst_ranks.size(); ++pi) {
@@ -82,7 +82,7 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
     ctx.compute(static_cast<double>(moved));
   }
   if (in_dst) {
-    std::array<int, R> ext{};
+    GIndex<R> ext{};
     for (int d = 0; d < R; ++d) {
       ext[static_cast<std::size_t>(d)] = dst.extent(d);
     }

@@ -137,7 +137,7 @@ std::vector<double> jacobi_mp(Context& ctx, const ProcView& procs, int n,
   if (g.index() != 0) {
     return {};
   }
-  std::vector<double> full(static_cast<std::size_t>(n) * n);
+  std::vector<double> full(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (int q = 0; q < p * p; ++q) {
     const int qi = q / p, qj = q % p;
     const double* blk = blocks.data() + static_cast<std::ptrdiff_t>(q) * m * m;

@@ -40,7 +40,7 @@ TEST_P(Fft2P, RoundTripRecoversInput) {
     ProcView pv = ProcView::grid1(p);
     auto [rows, cols] = make(ctx, pv, n);
     Rng rng(42);
-    std::vector<double> ref(static_cast<std::size_t>(n) * n);
+    std::vector<double> ref(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
     for (auto& v : ref) {
       v = rng.uniform(-1, 1);
     }

@@ -25,7 +25,7 @@ struct RandomMatrix {
   std::vector<double> dense;  // row-major
 
   explicit RandomMatrix(int size, std::uint64_t seed) : n(size) {
-    dense.assign(static_cast<std::size_t>(n) * n, 0.0);
+    dense.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
     Rng rng(seed);
     for (int i = 0; i < n; ++i) {
       double offsum = 0.0;
