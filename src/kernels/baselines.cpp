@@ -12,8 +12,9 @@ namespace kali {
 
 namespace {
 
-// Distinct band above tri's per-system tags (kTagTriBase + 2 * nsys):
-// collisions would need ~2^21 concurrently pipelined systems.
+// Kernel-library band of the reserved-tag registry (machine/message.hpp),
+// distinct from tri's per-system tags (kTagTriBase + 2 * nsys): collisions
+// would need ~2^21 concurrently pipelined systems.
 constexpr int kTagCarry = (1 << 23) | (1 << 22);
 constexpr int kTagBack = kTagCarry + 1;
 constexpr int kTagScatter = kTagCarry + 2;

@@ -37,7 +37,10 @@ void fft2_forward(Context& ctx, DistArray2<Complex>& rows,
                  cols.dist_kind(0) == DistKind::kStar,
              "fft2: rows must be (block, *), cols (*, block)");
   fft_lines(rows, 1, /*inverse=*/false);
-  redistribute(ctx, rows, cols);  // the distributed transpose
+  // The distributed transpose: (block, *) -> (*, block) is box-eligible, so
+  // redistribute() exchanges contiguous slabs between intersecting rank
+  // pairs only — no per-element index metadata on the wire.
+  redistribute(ctx, rows, cols);
   fft_lines(cols, 0, /*inverse=*/false);
 }
 

@@ -26,12 +26,16 @@
 
 #include "kernels/reduce_block.hpp"
 #include "kernels/thomas.hpp"
+#include "machine/message.hpp"  // kKernelTagBase (reserved-tag registry)
 #include "machine/trace.hpp"
 #include "runtime/proc_view.hpp"
 
 namespace kali::detail {
 
+// Kernel-library tag band of the reserved-tag registry (machine/message.hpp);
+// per-system tags are kTagTriBase + 2 * sys_tag (+1).
 inline constexpr int kTagTriBase = 1 << 23;
+static_assert(kTagTriBase >= kKernelTagBase && kTagTriBase < kCollectiveTagBase);
 inline constexpr double kSubstFlopsPerRow = 5.0;
 
 /// log2 of a power of two (checked).

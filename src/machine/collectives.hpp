@@ -3,8 +3,9 @@
 // flow on a loosely coupled machine.
 //
 // All members of the group must call the same collective in the same order
-// (standard SPMD discipline).  Tags live in a reserved range so user
-// point-to-point traffic (tags < kCollectiveTagBase) can never collide.
+// (standard SPMD discipline).  Tags live in the collectives band of the
+// reserved-tag registry (machine/message.hpp), so user, runtime, and kernel
+// point-to-point traffic can never collide with them.
 #pragma once
 
 #include <functional>
@@ -13,10 +14,10 @@
 
 #include "machine/context.hpp"
 #include "machine/group.hpp"
+#include "machine/message.hpp"  // kCollectiveTagBase (reserved-tag registry)
 
 namespace kali {
 
-inline constexpr int kCollectiveTagBase = 1 << 24;
 inline constexpr int kTagReduceUp = kCollectiveTagBase + 1;
 inline constexpr int kTagBcastDown = kCollectiveTagBase + 2;
 inline constexpr int kTagGather = kCollectiveTagBase + 3;

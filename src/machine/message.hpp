@@ -7,6 +7,48 @@
 
 namespace kali {
 
+// ---------------------------------------------------------------------------
+// Reserved message-tag registry.
+//
+// Every layer that sends point-to-point traffic draws its tags from a
+// disjoint band, so no composition of user code, runtime-generated
+// communication, kernel-library pipelines, and collectives can ever match a
+// foreign message:
+//
+//   [0,      1<<20)   user / application programs (e.g. jacobi_mp's edge
+//                     exchange) — the SPMD program's own tags
+//   [1<<20,  1<<22)   runtime-generated communication (halo exchange,
+//                     redistribute, remap); bases below
+//   [1<<22,  1<<24)   kernel library (tri_pipeline's kTagTriBase at 1<<23,
+//                     baselines' carry/scatter tags)
+//   [1<<24,  ...  )   collectives (collectives.hpp derives kTagReduceUp etc.
+//                     from kCollectiveTagBase)
+//
+// New reserved tags must be registered here, not defined ad hoc inside the
+// user band.
+// ---------------------------------------------------------------------------
+
+/// First tag above the user band; application code must stay below this.
+inline constexpr int kRuntimeTagBase = 1 << 20;
+
+/// First tag of the kernel-library band.
+inline constexpr int kKernelTagBase = 1 << 22;
+
+/// First tag of the collectives band (see collectives.hpp).
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+// Runtime band allocations ---------------------------------------------------
+
+/// Halo exchange: 4 tags per array dimension (low/high faces × send
+/// direction), dims 0..2 — occupies [base, base + 12).
+inline constexpr int kTagHaloBase = kRuntimeTagBase;
+
+/// redistribute() slab/bin payloads (runtime/redistribute.hpp).
+inline constexpr int kTagRedistData = kRuntimeTagBase + 16;
+
+/// copy_strided_dim() packets (runtime/remap.hpp).
+inline constexpr int kTagRemap = kRuntimeTagBase + 17;
+
 /// A message in flight.  `send_time` is the sender's simulated clock at the
 /// moment the message entered the network; the receiver uses it to advance
 /// its own clock causally (recv >= send + latency + bytes * byte_time).

@@ -23,12 +23,11 @@
 
 #include "machine/collectives.hpp"
 #include "machine/context.hpp"
+#include "machine/message.hpp"  // kTagHaloBase (reserved-tag registry)
 #include "runtime/distribution.hpp"
 #include "runtime/proc_view.hpp"
 
 namespace kali {
-
-inline constexpr int kTagHaloBase = 1 << 20;
 
 /// Whether a halo exchange must also fill diagonal corner ghosts.
 enum class HaloCorners { kNo, kYes };

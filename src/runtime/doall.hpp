@@ -36,8 +36,17 @@ struct Range {
   int hi = -1;  ///< inclusive; hi < lo is an empty range
   int step = 1;
 
+  /// The single stride-validation point: contains() and the doall
+  /// strip-miners (owned_in_range) all funnel through here, so a
+  /// non-positive step fails loudly everywhere instead of silently
+  /// selecting nothing in one place and throwing in another.
+  void require_valid() const {
+    KALI_CHECK(step >= 1, "Range: step must be >= 1");
+  }
+
   [[nodiscard]] bool contains(int i) const {
-    return step > 0 && i >= lo && i <= hi && (i - lo) % step == 0;
+    require_valid();
+    return i >= lo && i <= hi && (i - lo) % step == 0;
   }
 };
 
@@ -46,11 +55,11 @@ namespace detail {
 /// Global indices of `r` that processor-coordinate-c owns along map `m`,
 /// ascending.  Block distributions intersect analytically; others filter.
 inline std::vector<int> owned_in_range(const DimMap& m, int c, Range r) {
+  r.require_valid();
   std::vector<int> out;
   if (r.hi < r.lo) {
     return out;
   }
-  KALI_CHECK(r.step >= 1, "doall range step must be positive");
   if (m.kind() == DistKind::kStar) {
     for (int i = r.lo; i <= r.hi; i += r.step) {
       out.push_back(i);

@@ -15,6 +15,18 @@ struct IdxVal {
   std::int64_t idx;
   T val;
 };
+
+/// Inverse of linearize() for a given extent tuple (row-major).
+template <int R>
+GIndex<R> delinearize(std::int64_t f, const GIndex<R>& ext) {
+  GIndex<R> g{};
+  for (int d = R - 1; d >= 0; --d) {
+    const auto ud = static_cast<std::size_t>(d);
+    g[ud] = static_cast<int>(f % ext[ud]);
+    f /= ext[ud];
+  }
+  return g;
+}
 }  // namespace detail
 
 /// Row-major linearization of a global index.

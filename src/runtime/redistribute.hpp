@@ -1,32 +1,58 @@
 // Redistribution between arbitrary distributions of the same global array
 // — the communication behind "a variety of distribution patterns can be
 // tried by simple modifications of this program" (paper §2) and behind
-// transpose-style tensor product algorithms (distributed FFT).
+// transpose-style tensor product algorithms (distributed FFT, ADI direction
+// switch).
 //
-// Implementation: every source owner bins its elements by destination
-// owner, counts are exchanged pairwise, then payloads; receivers scatter
-// into their slabs.  This is the general "runtime resolution" path; block
-// cases could use box intersection, but the general path keeps one code
-// path for every (dist, view) combination at the modest cost of O(local n)
-// index arithmetic.
+// Protocol: no counts are exchanged and no empty messages are sent.  Both
+// sides of every transfer derive the pairing analytically from the
+// replicated descriptors — the sender knows which destination ranks need a
+// piece of its slab, and each receiver knows which source ranks hold a
+// piece of *its* slab, so a message travels exactly between the rank pairs
+// whose owned index sets intersect.  Payloads carry raw values only: sender
+// and receiver enumerate the shared index set in the same row-major global
+// order, so no per-element index metadata is needed on the wire.
+//
+// Two paths implement that protocol:
+//
+//  * Box intersection (block/star dims only): each rank's owned index set
+//    is an axis-aligned box, so the (src-rank, dst-rank) overlap is itself
+//    a box computed directly from the DimMap descriptors in O(1) per dim.
+//    Peers are enumerated from per-dim owner-coordinate ranges — O(peers),
+//    independent of both the element count and the machine size — and
+//    payloads are packed as contiguous row-major slabs.
+//
+//  * Per-dim owner binning (any cyclic/block-cyclic dim): each side walks
+//    its own elements once, computing the unique opposite owner rank in
+//    O(R) per element (owner() per dim + one rank_of), and bins values by
+//    peer.  O(local n + peers) — never the O(local n × P) all-pairs
+//    ownership scan of the original implementation.
+//
+// The original implementation (per-element {index, value} packets, full
+// P_src × P_dst message flood including empty messages) is retained as
+// redistribute_reference(): it is the oracle for differential tests and the
+// baseline bench_redistribute measures the new protocol against.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
+#include "machine/message.hpp"  // kTagRedistData (reserved-tag registry)
 #include "runtime/dist_array.hpp"
-#include "runtime/io.hpp"  // linearize
+#include "runtime/io.hpp"  // linearize / delinearize
 
 namespace kali {
 
-inline constexpr int kTagRedistCount = (1 << 21);
-inline constexpr int kTagRedistData = (1 << 21) + 1;
-
 namespace detail {
 
-/// Owner machine-rank of a global index under array `A`'s descriptor
-/// (computable by any processor, member or not).
+/// Row-major linear index (within A.view().ranks()) of the rank owning g,
+/// computable by any processor, member or not — descriptors are replicated.
+/// Ownership is unique: every grid dimension of the view is bound to
+/// exactly one distributed array dimension.  One owner() per dim — the
+/// O(R) inner step of the binning path.
 template <class T, int R>
-int owner_rank(const DistArray<T, R>& A, GIndex<R> g) {
+std::size_t owner_index(const DistArray<T, R>& A, GIndex<R> g) {
   std::array<int, kMaxProcDims> coord{};
   for (int d = 0; d < R; ++d) {
     const auto ud = static_cast<std::size_t>(d);
@@ -34,27 +60,240 @@ int owner_rank(const DistArray<T, R>& A, GIndex<R> g) {
       coord[static_cast<std::size_t>(A.proc_dim(d))] = A.map(d).owner(g[ud]);
     }
   }
-  return A.view().rank_of(coord);
+  std::size_t lin = 0;
+  for (int pd = 0; pd < A.view().ndims(); ++pd) {
+    lin = lin * static_cast<std::size_t>(A.view().extent(pd)) +
+          static_cast<std::size_t>(coord[static_cast<std::size_t>(pd)]);
+  }
+  return lin;
 }
 
+/// Inclusive per-dimension index box; hi < lo along any dim means empty.
 template <int R>
-GIndex<R> delinearize(std::int64_t f, const GIndex<R>& ext) {
-  GIndex<R> g{};
-  for (int d = R - 1; d >= 0; --d) {
-    const auto ud = static_cast<std::size_t>(d);
-    g[ud] = static_cast<int>(f % ext[ud]);
-    f /= ext[ud];
+struct Box {
+  GIndex<R> lo{};
+  GIndex<R> hi{};
+
+  [[nodiscard]] bool empty() const {
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (hi[ud] < lo[ud]) {
+        return true;
+      }
+    }
+    return false;
   }
-  return g;
+
+  [[nodiscard]] std::int64_t volume() const {
+    std::int64_t v = 1;
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (hi[ud] < lo[ud]) {
+        return 0;
+      }
+      v *= hi[ud] - lo[ud] + 1;
+    }
+    return v;
+  }
+};
+
+/// Visit every global index of a (nonempty) box in row-major order — the
+/// wire order both endpoints of a slab transfer agree on.
+template <int R, class Fn>
+void for_each_in_box(const Box<R>& b, Fn fn) {
+  GIndex<R> g = b.lo;
+  for (;;) {
+    fn(g);
+    int d = R - 1;
+    for (; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (++g[ud] <= b.hi[ud]) {
+        break;
+      }
+      g[ud] = b.lo[ud];
+    }
+    if (d < 0) {
+      return;
+    }
+  }
+}
+
+/// True when every dimension of A is block or star, i.e. every rank's owned
+/// index set is an axis-aligned box.
+template <class T, int R>
+bool box_eligible(const DistArray<T, R>& A) {
+  for (int d = 0; d < R; ++d) {
+    if (A.dist_kind(d) != DistKind::kBlock && A.dist_kind(d) != DistKind::kStar) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The calling member's owned box (block/star dims; paper's lower/upper).
+template <class T, int R>
+Box<R> owned_box(const DistArray<T, R>& A) {
+  Box<R> b;
+  for (int d = 0; d < R; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    b.lo[ud] = A.own_lower(d);
+    b.hi[ud] = A.own_upper(d);
+  }
+  return b;
+}
+
+/// Visit every rank of box-eligible `A` whose owned box intersects `within`,
+/// passing the rank and the (nonempty) intersection box.  Runs in O(peers):
+/// per grid dimension only the owner coordinates of `within`'s bounds are
+/// enumerated, and every enumerated coordinate is a true peer (a block
+/// owner between owner(lo) and owner(hi) always owns part of [lo, hi]).
+template <class T, int R, class Fn>
+void for_each_intersecting_peer(const DistArray<T, R>& A, const Box<R>& within,
+                                Fn fn) {
+  const int nd = A.view().ndims();
+  std::array<int, kMaxProcDims> adim{};  // grid dim -> bound array dim
+  for (int d = 0; d < R; ++d) {
+    if (A.proc_dim(d) >= 0) {
+      adim[static_cast<std::size_t>(A.proc_dim(d))] = d;
+    }
+  }
+  std::array<int, kMaxProcDims> clo{};
+  std::array<int, kMaxProcDims> chi{};
+  for (int pd = 0; pd < nd; ++pd) {
+    const auto upd = static_cast<std::size_t>(pd);
+    const int d = adim[upd];
+    clo[upd] = A.map(d).owner(within.lo[static_cast<std::size_t>(d)]);
+    chi[upd] = A.map(d).owner(within.hi[static_cast<std::size_t>(d)]);
+  }
+  std::array<int, kMaxProcDims> c = clo;
+  for (;;) {
+    Box<R> b = within;  // star dims of A: peer holds the whole extent
+    for (int pd = 0; pd < nd; ++pd) {
+      const auto upd = static_cast<std::size_t>(pd);
+      const int d = adim[upd];
+      const auto ud = static_cast<std::size_t>(d);
+      b.lo[ud] = std::max(within.lo[ud], A.map(d).block_lower(c[upd]));
+      b.hi[ud] = std::min(within.hi[ud], A.map(d).block_upper(c[upd]));
+    }
+    fn(A.view().rank_of(c), b);
+    int pd = nd - 1;
+    for (; pd >= 0; --pd) {
+      const auto upd = static_cast<std::size_t>(pd);
+      if (++c[upd] <= chi[upd]) {
+        break;
+      }
+      c[upd] = clo[upd];
+    }
+    if (pd < 0) {
+      return;
+    }
+  }
 }
 
 }  // namespace detail
 
 /// Copy src's contents into dst (same global extents, any distributions /
-/// views).  Collective over the union of both views' members.
-/// For star (replicated) dims in dst, every replica receives a copy.
+/// views — the views may even be disjoint rank sets).  Collective over the
+/// union of both views' members.
 template <class T, int R>
 void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst) {
+  for (int d = 0; d < R; ++d) {
+    KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
+  }
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (!in_src && !in_dst) {
+    return;
+  }
+
+  if (detail::box_eligible(src) && detail::box_eligible(dst)) {
+    // ---- box-intersection fast path: contiguous slab exchange -----------
+    if (in_src) {
+      const detail::Box<R> mine = detail::owned_box(src);
+      if (!mine.empty()) {
+        std::vector<T> buf;
+        double packed = 0;
+        detail::for_each_intersecting_peer(dst, mine, [&](int rank,
+                                                          const detail::Box<R>& b) {
+          buf.clear();
+          buf.reserve(static_cast<std::size_t>(b.volume()));
+          detail::for_each_in_box(b, [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+          ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(buf));
+          packed += static_cast<double>(buf.size());
+        });
+        ctx.compute(packed);
+      }
+    }
+    if (in_dst) {
+      const detail::Box<R> mine = detail::owned_box(dst);
+      if (!mine.empty()) {
+        double unpacked = 0;
+        detail::for_each_intersecting_peer(src, mine, [&](int rank,
+                                                          const detail::Box<R>& b) {
+          auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
+          KALI_CHECK(vals.size() == static_cast<std::size_t>(b.volume()),
+                     "redistribute: slab size mismatch");
+          std::size_t k = 0;
+          detail::for_each_in_box(b, [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+          unpacked += static_cast<double>(k);
+        });
+        ctx.compute(unpacked);
+      }
+    }
+    return;
+  }
+
+  // ---- general path: per-dim owner binning ------------------------------
+  // Sender and receiver each walk their own elements once (row-major), so
+  // the per-peer value sequences agree element-for-element without any
+  // index metadata or count exchange.
+  if (in_src) {
+    const std::vector<int> dst_ranks = dst.view().ranks();
+    std::vector<std::vector<T>> bins(dst_ranks.size());
+    src.for_each_owned([&](GIndex<R> g) {
+      bins[detail::owner_index(dst, g)].push_back(src.at(g));
+    });
+    double packed = 0;
+    for (std::size_t pi = 0; pi < bins.size(); ++pi) {
+      if (!bins[pi].empty()) {
+        ctx.send_span<T>(dst_ranks[pi], kTagRedistData,
+                         std::span<const T>(bins[pi]));
+        packed += static_cast<double>(bins[pi].size());
+      }
+    }
+    ctx.compute(packed);
+  }
+  if (in_dst) {
+    const std::vector<int> src_ranks = src.view().ranks();
+    std::vector<std::vector<GIndex<R>>> expect(src_ranks.size());
+    dst.for_each_owned([&](GIndex<R> g) {
+      expect[detail::owner_index(src, g)].push_back(g);
+    });
+    double unpacked = 0;
+    for (std::size_t pi = 0; pi < expect.size(); ++pi) {
+      if (expect[pi].empty()) {
+        continue;
+      }
+      auto vals = ctx.recv_vec<T>(src_ranks[pi], kTagRedistData);
+      KALI_CHECK(vals.size() == expect[pi].size(),
+                 "redistribute: bin size mismatch");
+      for (std::size_t k = 0; k < vals.size(); ++k) {
+        dst.at(expect[pi][k]) = vals[k];
+      }
+      unpacked += static_cast<double>(vals.size());
+    }
+    ctx.compute(unpacked);
+  }
+}
+
+/// The original "runtime resolution" implementation: every source member
+/// tests every owned element against every destination rank (O(local n × P))
+/// and sends per-element {index, value} packets to *all* destination ranks,
+/// empty lists included.  Kept, unoptimized, as the oracle for differential
+/// tests and as the baseline of bench_redistribute — do not use in new code.
+template <class T, int R>
+void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
+                            DistArray<T, R>& dst) {
   GIndex<R> ext{};
   for (int d = 0; d < R; ++d) {
     KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
@@ -66,30 +305,18 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
     return;
   }
 
-  // Destination replicas: for star dims in dst, all members along the
-  // orthogonal grid dims need the element.  Enumerate destination ranks per
-  // element via the dst view with star dims free.
-  std::vector<int> dst_ranks_all = dst.view().ranks();
-
-  // --- source side: bin owned elements by destination rank -------------
   struct Packet {
     std::int64_t idx;
     T val;
   };
-  // Star dims in src mean several members own the same element; they all
-  // send it and receivers overwrite with identical values — harmless, and
-  // it keeps a single code path for every distribution combination.
+  std::vector<int> peers = dst.view().ranks();
   std::vector<std::vector<Packet>> outgoing;
-  std::vector<int> peers;  // destination ranks, aligned with outgoing
   if (in_src) {
-    peers = dst_ranks_all;
     outgoing.assign(peers.size(), {});
     src.for_each_owned([&](GIndex<R> g) {
       const std::int64_t f = linearize(src, g);
-      // All dst replicas that own g:
       for (std::size_t pi = 0; pi < peers.size(); ++pi) {
-        const int rank = peers[pi];
-        const auto coord = dst.view().coord_of(rank);
+        const auto coord = dst.view().coord_of(peers[pi]);
         bool owns = true;
         for (int d = 0; d < R && owns; ++d) {
           const int pd = dst.proc_dim(d);
@@ -104,11 +331,6 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
         }
       }
     });
-  }
-
-  // Every src member sends a (possibly empty) packet list to every dst
-  // rank; every dst member receives one list from every src rank.
-  if (in_src) {
     for (std::size_t pi = 0; pi < peers.size(); ++pi) {
       ctx.send_span<Packet>(peers[pi], kTagRedistData,
                             std::span<const Packet>(outgoing[pi]));

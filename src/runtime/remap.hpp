@@ -10,16 +10,21 @@
 // Restriction injects  dst_coarse[K] = src_fine[2K]   (s_stride=2, d_stride=1);
 // interpolation spreads dst_fine[2K] = src_coarse[K]  (s_stride=1, d_stride=2).
 //
-// Like redistribute(), every source owner bins values by destination owner;
-// this handles arbitrary block misalignment between grid levels.
+// Like redistribute(), the protocol is analytic: each source owner computes
+// the unique destination owner of every transferred element in O(R) (one
+// owner() per dim), each destination owner computes the unique source owner
+// of every element it expects, and messages travel only between rank pairs
+// that actually share elements — no counts on the wire, no empty-message
+// flood, no all-pairs ownership scan.  Payloads are raw values: both sides
+// enumerate their shared elements in row-major order (the strided dim
+// mapping is monotone, so source order and destination order agree), so no
+// per-element index metadata is needed.
 #pragma once
 
-#include "runtime/io.hpp"
+#include "machine/message.hpp"  // kTagRemap (reserved-tag registry)
 #include "runtime/redistribute.hpp"
 
 namespace kali {
-
-inline constexpr int kTagRemap = (1 << 21) + 2;
 
 template <class T, int R>
 void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
@@ -37,19 +42,15 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
                             d_off + (count - 1) * d_stride < dst.extent(dim)),
              "copy_strided_dim: range out of bounds");
 
-  struct Packet {
-    std::int64_t idx;  // destination linear index
-    T val;
-  };
   const bool in_src = src.participating();
   const bool in_dst = dst.participating();
   if (!in_src && !in_dst) {
     return;
   }
 
-  std::vector<int> dst_ranks = dst.view().ranks();
   if (in_src) {
-    std::vector<std::vector<Packet>> outgoing(dst_ranks.size());
+    const std::vector<int> dst_ranks = dst.view().ranks();
+    std::vector<std::vector<T>> bins(dst_ranks.size());
     src.for_each_owned([&](GIndex<R> g) {
       const int rel = g[ud] - s_off;
       if (rel < 0 || rel % s_stride != 0 || rel / s_stride >= count) {
@@ -57,42 +58,46 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
       }
       GIndex<R> gd = g;
       gd[ud] = d_off + (rel / s_stride) * d_stride;
-      const T v = src.at(g);
-      for (std::size_t pi = 0; pi < dst_ranks.size(); ++pi) {
-        const auto coord = dst.view().coord_of(dst_ranks[pi]);
-        bool owns = true;
-        for (int d = 0; d < R && owns; ++d) {
-          const int pd = dst.proc_dim(d);
-          if (pd >= 0 && dst.map(d).owner(gd[static_cast<std::size_t>(d)]) !=
-                             (*coord)[static_cast<std::size_t>(pd)]) {
-            owns = false;
-          }
-        }
-        if (owns) {
-          outgoing[pi].push_back({linearize(dst, gd), v});
-        }
-      }
+      bins[detail::owner_index(dst, gd)].push_back(src.at(g));
     });
-    std::size_t moved = 0;
-    for (std::size_t pi = 0; pi < dst_ranks.size(); ++pi) {
-      ctx.send_span<Packet>(dst_ranks[pi], kTagRemap,
-                            std::span<const Packet>(outgoing[pi]));
-      moved += outgoing[pi].size();
+    double moved = 0;
+    for (std::size_t pi = 0; pi < bins.size(); ++pi) {
+      if (!bins[pi].empty()) {
+        ctx.send_span<T>(dst_ranks[pi], kTagRemap,
+                         std::span<const T>(bins[pi]));
+        moved += static_cast<double>(bins[pi].size());
+      }
     }
-    ctx.compute(static_cast<double>(moved));
+    ctx.compute(moved);
   }
   if (in_dst) {
-    GIndex<R> ext{};
-    for (int d = 0; d < R; ++d) {
-      ext[static_cast<std::size_t>(d)] = dst.extent(d);
-    }
-    for (int srank : src.view().ranks()) {
-      auto pkts = ctx.recv_vec<Packet>(srank, kTagRemap);
-      for (const auto& pkt : pkts) {
-        dst.at(detail::delinearize<R>(pkt.idx, ext)) = pkt.val;
+    // Expected elements per source rank, derived from my own slab in the
+    // same row-major order the sender packs.
+    const std::vector<int> src_ranks = src.view().ranks();
+    std::vector<std::vector<GIndex<R>>> expect(src_ranks.size());
+    dst.for_each_owned([&](GIndex<R> g) {
+      const int rel = g[ud] - d_off;
+      if (rel < 0 || rel % d_stride != 0 || rel / d_stride >= count) {
+        return;
       }
-      ctx.compute(static_cast<double>(pkts.size()));
+      GIndex<R> gs = g;
+      gs[ud] = s_off + (rel / d_stride) * s_stride;
+      expect[detail::owner_index(src, gs)].push_back(g);
+    });
+    double unpacked = 0;
+    for (std::size_t pi = 0; pi < expect.size(); ++pi) {
+      if (expect[pi].empty()) {
+        continue;
+      }
+      auto vals = ctx.recv_vec<T>(src_ranks[pi], kTagRemap);
+      KALI_CHECK(vals.size() == expect[pi].size(),
+                 "copy_strided_dim: bin size mismatch");
+      for (std::size_t k = 0; k < vals.size(); ++k) {
+        dst.at(expect[pi][k]) = vals[k];
+      }
+      unpacked += static_cast<double>(vals.size());
     }
+    ctx.compute(unpacked);
   }
 }
 

@@ -1,10 +1,13 @@
 #include "solvers/adi.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "kernels/mtri.hpp"
+#include "kernels/thomas.hpp"
 #include "kernels/tri.hpp"
 #include "runtime/doall.hpp"
+#include "runtime/redistribute.hpp"
 #include "support/check.hpp"
 
 namespace kali {
@@ -27,6 +30,17 @@ void residual_scaled(const Op2& op, double tau, const DistArray2<double>& uin,
         r(i, j) = tau * (lu - f(i, j));
       },
       10.0);
+}
+
+/// The view's members as a 1-D line view (transpose mode redistributes
+/// between 2-D (block, block) and 1-D (block, *) / (*, block) layouts over
+/// the same processors, which requires the ranks to be contiguous).
+ProcView row_major_line(const ProcView& pv) {
+  const std::vector<int> ranks = pv.ranks();
+  ProcView line = ProcView::grid1(static_cast<int>(ranks.size()), ranks.front());
+  KALI_CHECK(line.ranks() == ranks,
+             "adi transpose: view must be a contiguous rank range");
+  return line;
 }
 
 }  // namespace
@@ -64,7 +78,6 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
   using D2 = DistArray2<double>;
   const typename D2::Dists dists{DimDist::block_dist(), DimDist::block_dist()};
   D2 r(ctx, u.view(), {nx, ny}, dists);
-  D2 v(ctx, u.view(), {nx, ny}, dists);
   D2 w(ctx, u.view(), {nx, ny}, dists);
 
   auto uin = u.copy_in();
@@ -76,8 +89,49 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
   const double ox = -tau * op.cx();
   const double dx = 1.0 + 2.0 * tau * op.cx() - tau * op.sigma / 2.0;
 
-  if (!opts.pipelined) {
+  if (opts.transpose) {
+    // Direction switch by redistribution: remap r to (block, *) so every
+    // y-line is a local Thomas sweep, transpose-redistribute to (*, block)
+    // for the x-lines, then land back in (block, block).  All three
+    // redistributions are box-intersection slab exchanges.
+    const ProcView line = row_major_line(u.view());
+    const typename D2::Dists row_dists{DimDist::block_dist(), DimDist::star()};
+    const typename D2::Dists col_dists{DimDist::star(), DimDist::block_dist()};
+    D2 rrows(ctx, line, {nx, ny}, row_dists);
+    D2 vcols(ctx, line, {nx, ny}, col_dists);
+
+    // Each line is fully read into fline before its solution is written, so
+    // both sweeps can land in place — two transposed temporaries suffice.
+    redistribute(ctx, r, rrows);
+    std::vector<double> fline(static_cast<std::size_t>(ny));
+    std::vector<double> xline(static_cast<std::size_t>(ny));
+    for (int i : rrows.owned(0)) {
+      for (int j = 0; j < ny; ++j) {
+        fline[static_cast<std::size_t>(j)] = rrows(i, j);
+      }
+      thomas_solve_const(oy, dy, oy, fline, xline);
+      ctx.compute(kThomasFlopsPerRow * ny);
+      for (int j = 0; j < ny; ++j) {
+        rrows(i, j) = xline[static_cast<std::size_t>(j)];
+      }
+    }
+    redistribute(ctx, rrows, vcols);
+    fline.resize(static_cast<std::size_t>(nx));
+    xline.resize(static_cast<std::size_t>(nx));
+    for (int j : vcols.owned(1)) {
+      for (int i = 0; i < nx; ++i) {
+        fline[static_cast<std::size_t>(i)] = vcols(i, j);
+      }
+      thomas_solve_const(ox, dx, ox, fline, xline);
+      ctx.compute(kThomasFlopsPerRow * nx);
+      for (int i = 0; i < nx; ++i) {
+        vcols(i, j) = xline[static_cast<std::size_t>(i)];
+      }
+    }
+    redistribute(ctx, vcols, w);
+  } else if (!opts.pipelined) {
     // Listing 7: perform tridiagonal solves in the y direction ...
+    D2 v(ctx, u.view(), {nx, ny}, dists);
     doall_slice_owner(r, 0, Range{0, nx - 1}, [&](int i) {
       auto ri = r.fix(0, i);
       auto vi = v.fix(0, i);
@@ -91,6 +145,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
     });
   } else {
     // Listing 8: every processor row pipelines its slab of y solves ...
+    D2 v(ctx, u.view(), {nx, ny}, dists);
     {
       const int lo = r.own_lower(0);
       const int cnt = r.local_count(0);

@@ -19,6 +19,14 @@
 // calls the pipelined mtri so the log(p) tree phases of consecutive lines
 // overlap — "better speed-ups with the pipelined version".
 //
+// Transpose variant: instead of distributed line solves, the direction
+// switch is a data redistribution — r is remapped to dist (block, *) so
+// every y-line solve is a purely local Thomas sweep, then to (*, block)
+// for the x-direction, then back to (block, block).  This is the paper's
+// "variety of distribution patterns can be tried by simple modifications"
+// made concrete, and it exercises redistribute()'s box-intersection slab
+// exchange on every iteration.
+//
 // Arrays hold the n x n interior with a zero Dirichlet ghost frame
 // (dist (block, block) over procs(px, py), halo 1).
 #pragma once
@@ -32,6 +40,10 @@ struct AdiOptions {
   Op2 op;             ///< operator coefficients a, b, c and spacings
   double tau = 0.05;  ///< pseudo-timestep of the factored iteration
   bool pipelined = false;  ///< Listing 8 (mtri) instead of Listing 7 (tric)
+  bool transpose = false;  ///< direction switch by redistribution: remap to
+                           ///< (block, *) / (*, block) so every line solve is
+                           ///< local (overrides `pipelined`); requires the
+                           ///< view to be a contiguous rank range
 };
 
 /// One ADI iteration; u and f are (block, block) over a 2-D view with

@@ -37,6 +37,23 @@ TEST(Doall, CoversRangeExactlyOnce1D) {
   }
 }
 
+TEST(Doall, NonPositiveStrideFailsLoudlyEverywhere) {
+  // Range::contains and the doall strip-miners share one validation point:
+  // a non-positive step throws from both instead of silently returning
+  // false from one and throwing from the other.
+  EXPECT_THROW(((void)Range{0, 10, 0}.contains(3)), Error);
+  EXPECT_THROW(((void)Range{0, 10, -2}.contains(0)), Error);
+  const DimMap map(DimDist::block_dist(), 8, 2);
+  EXPECT_THROW((void)detail::owned_in_range(map, 0, Range{0, 7, 0}), Error);
+  EXPECT_THROW((void)detail::owned_in_range(map, 0, Range{0, 7, -1}), Error);
+  // ... even for ranges that would otherwise be empty.
+  EXPECT_THROW((void)detail::owned_in_range(map, 0, Range{5, 2, 0}), Error);
+  // Valid strides keep working.
+  EXPECT_TRUE((Range{0, 10, 2}.contains(4)));
+  EXPECT_FALSE((Range{0, 10, 2}.contains(5)));
+  EXPECT_FALSE((Range{0, 10, 2}.contains(11)));
+}
+
 TEST(Doall, RespectsStride) {
   // The zebra loops: doall k = 2, nz-2, 2.
   Machine m(2, quiet_config());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "machine/context.hpp"
 #include "runtime/io.hpp"
 
@@ -96,6 +99,188 @@ TEST(Redistribute, ReplicatesIntoStarDims) {
       }
     }
   });
+}
+
+TEST(Redistribute, CyclicBlockCyclicRoundTrip) {
+  // General (owner-binning) path in both directions, odd extent so counts
+  // differ across ranks.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> a(ctx, pv, {19}, {DimDist::cyclic()});
+    DistArray1<double> b(ctx, pv, {19}, {DimDist::block_cyclic(3)});
+    DistArray1<double> c(ctx, pv, {19}, {DimDist::cyclic()});
+    a.fill([](std::array<int, 1> g) { return 3.0 * g[0] - 1.0; });
+    redistribute(ctx, a, b);
+    b.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(b.at(g), 3.0 * g[0] - 1.0);
+    });
+    redistribute(ctx, b, c);
+    c.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(c.at(g), 3.0 * g[0] - 1.0);
+    });
+  });
+}
+
+TEST(Redistribute, StarFanOutFromBlockGrid) {
+  // (block, block) on a 2x2 grid -> (block, *) on a 1-D view: every dst
+  // rank's replicated row span is assembled from two source quadrants.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    DistArray2<double> src(ctx, ProcView::grid2(2, 2), {8, 8},
+                           {DimDist::block_dist(), DimDist::block_dist()});
+    DistArray2<double> dst(ctx, ProcView::grid1(4), {8, 8},
+                           {DimDist::block_dist(), DimDist::star()});
+    src.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    redistribute(ctx, src, dst);
+    for (int i = dst.own_lower(0); i <= dst.own_upper(0); ++i) {
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_DOUBLE_EQ(dst(i, j), tag2(i, j));
+      }
+    }
+  });
+}
+
+TEST(Redistribute, DisjointSrcDstViews) {
+  // Producer/consumer hand-off: src lives on ranks {0, 1}, dst on {2, 3}.
+  // Exercises both the box path and the general path across disjoint views.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView spv = ProcView::grid1(2, /*base=*/0);
+    ProcView dpv = ProcView::grid1(2, /*base=*/2);
+    {
+      DistArray1<double> a(ctx, spv, {10}, {DimDist::block_dist()});
+      DistArray1<double> b(ctx, dpv, {10}, {DimDist::block_dist()});
+      a.fill([](std::array<int, 1> g) { return 2.0 * g[0]; });
+      redistribute(ctx, a, b);
+      b.for_each_owned([&](std::array<int, 1> g) {
+        EXPECT_DOUBLE_EQ(b.at(g), 2.0 * g[0]);
+      });
+    }
+    {
+      DistArray1<double> a(ctx, spv, {10}, {DimDist::block_dist()});
+      DistArray1<double> b(ctx, dpv, {10}, {DimDist::cyclic()});
+      a.fill([](std::array<int, 1> g) { return 2.0 * g[0] + 1.0; });
+      redistribute(ctx, a, b);
+      b.for_each_owned([&](std::array<int, 1> g) {
+        EXPECT_DOUBLE_EQ(b.at(g), 2.0 * g[0] + 1.0);
+      });
+    }
+  });
+}
+
+TEST(Redistribute, OvershootRanksOwnNothing) {
+  // extent < nprocs: with block ceil-division, rank 3 owns zero elements on
+  // both sides; it must neither send nor be expected to send.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> a(ctx, pv, {3}, {DimDist::block_dist()});
+    DistArray1<double> b(ctx, pv, {3}, {DimDist::cyclic()});
+    DistArray1<double> c(ctx, pv, {3}, {DimDist::block_dist()});
+    a.fill([](std::array<int, 1> g) { return 9.0 * g[0]; });
+    redistribute(ctx, a, b);
+    redistribute(ctx, b, c);
+    c.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(c.at(g), 9.0 * g[0]);
+    });
+  });
+}
+
+TEST(Redistribute, BoxPathSendsOnlyIntersectingPairs) {
+  // Identity redistribution between identical (block, block) layouts: the
+  // only intersecting pair per rank is itself — 4 messages total, where the
+  // reference path floods all 16 pairs.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    DistArray2<double> b(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    redistribute(ctx, a, b);
+  });
+  EXPECT_EQ(m.stats().totals().msgs_sent, 4u);
+
+  Machine ref(4, quiet_config());
+  ref.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray2<double> a(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    DistArray2<double> b(ctx, pv, {8, 8},
+                         {DimDist::block_dist(), DimDist::block_dist()});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    redistribute_reference(ctx, a, b);
+  });
+  EXPECT_EQ(ref.stats().totals().msgs_sent, 16u);
+}
+
+TEST(Redistribute, PropertyMatchesReferenceAcrossDistributions1D) {
+  // Differential test: for every (src kind, dst kind) pair, the analytic
+  // protocol must reproduce the reference all-pairs path element for
+  // element (and both must equal the fill).
+  const std::vector<std::pair<std::string, DimDist>> kinds = {
+      {"block", DimDist::block_dist()},
+      {"cyclic", DimDist::cyclic()},
+      {"bc2", DimDist::block_cyclic(2)},
+      {"bc3", DimDist::block_cyclic(3)},
+  };
+  for (const auto& [sname, sk] : kinds) {
+    for (const auto& [dname, dk] : kinds) {
+      SCOPED_TRACE(sname + " -> " + dname);
+      Machine m(4, quiet_config());
+      m.run([sk = sk, dk = dk](Context& ctx) {
+        ProcView pv = ProcView::grid1(4);
+        DistArray1<double> src(ctx, pv, {23}, {sk});
+        DistArray1<double> fast(ctx, pv, {23}, {dk});
+        DistArray1<double> ref(ctx, pv, {23}, {dk});
+        src.fill([](std::array<int, 1> g) { return 0.5 * g[0] * g[0] - 3.0; });
+        redistribute(ctx, src, fast);
+        redistribute_reference(ctx, src, ref);
+        fast.for_each_owned([&](std::array<int, 1> g) {
+          EXPECT_DOUBLE_EQ(fast.at(g), ref.at(g));
+          EXPECT_DOUBLE_EQ(fast.at(g), 0.5 * g[0] * g[0] - 3.0);
+        });
+      });
+    }
+  }
+}
+
+TEST(Redistribute, PropertyBoxPathMatchesReference2D) {
+  // Differential test over box-eligible 2-D layouts, including transposes
+  // and grid reshapes; every combination takes the slab fast path.
+  struct Layout {
+    std::string name;
+    ProcView pv;
+    DistArray2<double>::Dists dists;
+  };
+  const std::vector<Layout> layouts = {
+      {"rows", ProcView::grid1(4), {DimDist::block_dist(), DimDist::star()}},
+      {"cols", ProcView::grid1(4), {DimDist::star(), DimDist::block_dist()}},
+      {"grid22", ProcView::grid2(2, 2),
+       {DimDist::block_dist(), DimDist::block_dist()}},
+      {"grid41", ProcView::grid2(4, 1),
+       {DimDist::block_dist(), DimDist::block_dist()}},
+  };
+  for (const auto& s : layouts) {
+    for (const auto& d : layouts) {
+      SCOPED_TRACE(s.name + " -> " + d.name);
+      Machine m(4, quiet_config());
+      m.run([&](Context& ctx) {
+        DistArray2<double> src(ctx, s.pv, {9, 7}, s.dists);
+        DistArray2<double> fast(ctx, d.pv, {9, 7}, d.dists);
+        DistArray2<double> ref(ctx, d.pv, {9, 7}, d.dists);
+        src.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+        redistribute(ctx, src, fast);
+        redistribute_reference(ctx, src, ref);
+        fast.for_each_owned([&](std::array<int, 2> g) {
+          EXPECT_DOUBLE_EQ(fast.at(g), ref.at(g));
+          EXPECT_DOUBLE_EQ(fast.at(g), tag2(g[0], g[1]));
+        });
+      });
+    }
+  }
 }
 
 TEST(Redistribute, ExtentMismatchThrows) {
