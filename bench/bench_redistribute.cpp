@@ -1,13 +1,17 @@
 // E10 — redistribution engine: analytic slab intersection vs the original
-// all-pairs {index, value} packet protocol.
+// all-pairs {index, value} packet protocol, plus the link-contention sweep:
+// round-structured schedule vs naive per-peer issue order.
 //
 // Measures, on the modeled 1989 machine, the message count, wire bytes, and
 // simulated makespan of redistribute() against redistribute_reference() for
 // transpose-style and reshape-style redistributions (the communication of
 // the distributed FFT and the ADI direction switch) plus a general-path
-// cyclic case.  `--json` emits the same numbers as a JSON document — the
-// format consumed by the BENCH_*.json perf-trajectory files and the CI
-// Release perf job.
+// cyclic case.  Each case is then re-run with MachineConfig::link_contention
+// enabled, once issuing through the round schedule and once in naive peer
+// order — the modeled-time gap is what the schedule buys on serialized
+// links.  `--json` emits the same numbers as a JSON document — the format
+// consumed by the BENCH_*.json perf-trajectory files and the CI Release
+// perf job.
 //
 // Element type is float: the reference packet {int64 idx, float val} pads
 // to 16 bytes, so the raw-value slab protocol moves 4x fewer wire bytes.
@@ -26,6 +30,16 @@ struct RunStats {
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   double seconds = 0.0;
+  double link_wait = 0.0;
+  std::uint64_t self_msgs = 0;
+};
+
+enum class Proto { kFast, kReference };
+
+struct RunMode {
+  Proto proto = Proto::kFast;
+  bool contention = false;
+  IssueOrder order = IssueOrder::kRoundSchedule;
 };
 
 struct CaseResult {
@@ -33,8 +47,10 @@ struct CaseResult {
   std::string path;  // "box" or "general"
   int nprocs = 0;
   std::vector<int> extents;
-  RunStats fast;
-  RunStats ref;
+  RunStats fast;        // no contention, round schedule
+  RunStats ref;         // no contention, reference protocol
+  RunStats sched;       // contention, round schedule
+  RunStats naive;       // contention, naive peer order
 };
 
 using Dists1 = DistArray1<float>::Dists;
@@ -43,44 +59,59 @@ using Dists2 = DistArray2<float>::Dists;
 RunStats measure(Machine& m) {
   const MachineStats st = m.stats();
   const ProcCounters tot = st.totals();
-  return {tot.msgs_sent, tot.bytes_sent, st.max_clock()};
+  return {tot.msgs_sent, tot.bytes_sent, st.max_clock(), st.link_wait_time(),
+          st.self_msgs_total()};
+}
+
+MachineConfig config_for(const RunMode& mode) {
+  MachineConfig cfg = bench::config_1989();
+  cfg.link_contention = mode.contention;
+  return cfg;
 }
 
 RunStats run2(int nprocs, int n, const ProcView& spv, Dists2 sd,
-              const ProcView& dpv, Dists2 dd, bool reference) {
-  Machine m(nprocs, bench::config_1989());
+              const ProcView& dpv, Dists2 dd, const RunMode& mode) {
+  Machine m(nprocs, config_for(mode));
   m.run([&](Context& ctx) {
     DistArray2<float> src(ctx, spv, {n, n}, sd);
     DistArray2<float> dst(ctx, dpv, {n, n}, dd);
     src.fill([n](std::array<int, 2> g) {
       return static_cast<float>(g[0] * n + g[1]);
     });
-    if (reference) {
+    if (mode.proto == Proto::kReference) {
       redistribute_reference(ctx, src, dst);
     } else {
-      redistribute(ctx, src, dst);
+      redistribute(ctx, src, dst, mode.order);
     }
   });
   return measure(m);
 }
 
-RunStats run1(int nprocs, int n, Dists1 sd, Dists1 dd, bool reference) {
-  Machine m(nprocs, bench::config_1989());
+RunStats run1(int nprocs, int n, Dists1 sd, Dists1 dd, const RunMode& mode) {
+  Machine m(nprocs, config_for(mode));
   m.run([&](Context& ctx) {
     ProcView pv = ProcView::grid1(nprocs);
     DistArray1<float> src(ctx, pv, {n}, sd);
     DistArray1<float> dst(ctx, pv, {n}, dd);
     src.fill([](std::array<int, 1> g) { return static_cast<float>(g[0]); });
-    if (reference) {
+    if (mode.proto == Proto::kReference) {
       redistribute_reference(ctx, src, dst);
     } else {
-      redistribute(ctx, src, dst);
+      redistribute(ctx, src, dst, mode.order);
     }
   });
   return measure(m);
 }
 
 double ratio(double a, double b) { return b > 0.0 ? a / b : 0.0; }
+
+void print_run(std::ostream& os, const char* key, const RunStats& r,
+               const char* indent) {
+  os << indent << "\"" << key << "\": {\"msgs\": " << r.msgs
+     << ", \"wire_bytes\": " << r.bytes << ", \"modeled_seconds\": " << r.seconds
+     << ", \"link_wait_seconds\": " << r.link_wait
+     << ", \"self_msgs\": " << r.self_msgs << "}";
+}
 
 void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
   os << "{\n"
@@ -89,6 +120,8 @@ void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
         "2.5 MB/s links)\",\n"
      << "  \"elem_bytes\": 4,\n"
      << "  \"reference\": \"all-pairs {int64 idx, float val} packet flood\",\n"
+     << "  \"contention_model\": \"single-port injection/ejection links "
+        "(MachineConfig::link_contention)\",\n"
      << "  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& c = results[i];
@@ -97,19 +130,24 @@ void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
     for (std::size_t d = 0; d < c.extents.size(); ++d) {
       os << (d ? ", " : "") << c.extents[d];
     }
-    os << "],\n"
-       << "     \"redistribute\": {\"msgs\": " << c.fast.msgs
-       << ", \"wire_bytes\": " << c.fast.bytes
-       << ", \"modeled_seconds\": " << c.fast.seconds << "},\n"
-       << "     \"reference_idxval\": {\"msgs\": " << c.ref.msgs
-       << ", \"wire_bytes\": " << c.ref.bytes
-       << ", \"modeled_seconds\": " << c.ref.seconds << "},\n"
+    os << "],\n";
+    print_run(os, "redistribute", c.fast, "     ");
+    os << ",\n";
+    print_run(os, "reference_idxval", c.ref, "     ");
+    os << ",\n"
        << "     \"msg_ratio\": "
        << ratio(static_cast<double>(c.ref.msgs), static_cast<double>(c.fast.msgs))
        << ", \"byte_ratio\": "
        << ratio(static_cast<double>(c.ref.bytes), static_cast<double>(c.fast.bytes))
-       << ", \"time_ratio\": " << ratio(c.ref.seconds, c.fast.seconds) << "}"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+       << ", \"time_ratio\": " << ratio(c.ref.seconds, c.fast.seconds) << ",\n"
+       << "     \"contention\": {\n";
+    print_run(os, "scheduled", c.sched, "      ");
+    os << ",\n";
+    print_run(os, "naive_order", c.naive, "      ");
+    os << ",\n"
+       << "      \"schedule_speedup\": " << ratio(c.naive.seconds, c.sched.seconds)
+       << ", \"contention_slowdown\": " << ratio(c.sched.seconds, c.fast.seconds)
+       << "\n     }}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -125,40 +163,61 @@ int main(int argc, char** argv) {
   const int n = 1024;
   std::vector<CaseResult> results;
 
+  const RunMode kFast{Proto::kFast, false, IssueOrder::kRoundSchedule};
+  const RunMode kRef{Proto::kReference, false, IssueOrder::kRoundSchedule};
+  const RunMode kSched{Proto::kFast, true, IssueOrder::kRoundSchedule};
+  const RunMode kNaive{Proto::kFast, true, IssueOrder::kPeerOrder};
+
   {
-    // The fft2 transpose: (block, *) -> (*, block).  Every rank pair
-    // genuinely intersects in a 64x64 slab, so the win is pure wire bytes.
-    CaseResult c{"transpose_rows_to_cols", "box", p, {n, n}, {}, {}};
+    // The fft2 transpose: (block, *) -> (*, block).  Every off-diagonal
+    // rank pair intersects in a 64x64 slab; the diagonal is a local copy.
+    CaseResult c{"transpose_rows_to_cols", "box", p, {n, n}, {}, {}, {}, {}};
     const Dists2 rows{DimDist::block_dist(), DimDist::star()};
     const Dists2 cols{DimDist::star(), DimDist::block_dist()};
-    c.fast = run2(p, n, ProcView::grid1(p), rows, ProcView::grid1(p), cols, false);
-    c.ref = run2(p, n, ProcView::grid1(p), rows, ProcView::grid1(p), cols, true);
+    const ProcView pv = ProcView::grid1(p);
+    c.fast = run2(p, n, pv, rows, pv, cols, kFast);
+    c.ref = run2(p, n, pv, rows, pv, cols, kRef);
+    c.sched = run2(p, n, pv, rows, pv, cols, kSched);
+    c.naive = run2(p, n, pv, rows, pv, cols, kNaive);
     results.push_back(c);
   }
   {
     // Grid reshape (block, block) 4x4 -> 16x1: only 4 destination slabs
     // overlap each source quadrant, so the message flood shrinks 4x too.
-    CaseResult c{"grid_reshape_4x4_to_16x1", "box", p, {n, n}, {}, {}};
+    CaseResult c{"grid_reshape_4x4_to_16x1", "box", p, {n, n}, {}, {}, {}, {}};
     const Dists2 bb{DimDist::block_dist(), DimDist::block_dist()};
-    c.fast = run2(p, n, ProcView::grid2(4, 4), bb, ProcView::grid2(16, 1), bb, false);
-    c.ref = run2(p, n, ProcView::grid2(4, 4), bb, ProcView::grid2(16, 1), bb, true);
+    const ProcView spv = ProcView::grid2(4, 4);
+    const ProcView dpv = ProcView::grid2(16, 1);
+    c.fast = run2(p, n, spv, bb, dpv, bb, kFast);
+    c.ref = run2(p, n, spv, bb, dpv, bb, kRef);
+    c.sched = run2(p, n, spv, bb, dpv, bb, kSched);
+    c.naive = run2(p, n, spv, bb, dpv, bb, kNaive);
     results.push_back(c);
   }
   {
-    // Identity layout: the degenerate best case — every rank talks only to
-    // itself, while the reference still floods all 256 pairs.
-    CaseResult c{"identity_4x4", "box", p, {n, n}, {}, {}};
+    // Identity layout: the degenerate best case — every rank's slab is its
+    // own, so the fast path sends nothing at all, while the reference
+    // still floods the 240 non-self pairs.
+    CaseResult c{"identity_4x4", "box", p, {n, n}, {}, {}, {}, {}};
     const Dists2 bb{DimDist::block_dist(), DimDist::block_dist()};
-    c.fast = run2(p, n, ProcView::grid2(4, 4), bb, ProcView::grid2(4, 4), bb, false);
-    c.ref = run2(p, n, ProcView::grid2(4, 4), bb, ProcView::grid2(4, 4), bb, true);
+    const ProcView pv = ProcView::grid2(4, 4);
+    c.fast = run2(p, n, pv, bb, pv, bb, kFast);
+    c.ref = run2(p, n, pv, bb, pv, bb, kRef);
+    c.sched = run2(p, n, pv, bb, pv, bb, kSched);
+    c.naive = run2(p, n, pv, bb, pv, bb, kNaive);
     results.push_back(c);
   }
   {
     // General path: cyclic -> block-cyclic falls back to per-dim owner
     // binning (O(n + peers) instead of the reference's O(n * P) scan).
-    CaseResult c{"cyclic_to_block_cyclic4_1d", "general", p, {n * n}, {}, {}};
-    c.fast = run1(p, n * n, {DimDist::cyclic()}, {DimDist::block_cyclic(4)}, false);
-    c.ref = run1(p, n * n, {DimDist::cyclic()}, {DimDist::block_cyclic(4)}, true);
+    CaseResult c{"cyclic_to_block_cyclic4_1d", "general", p, {n * n},
+                 {}, {}, {}, {}};
+    const Dists1 sd{DimDist::cyclic()};
+    const Dists1 dd{DimDist::block_cyclic(4)};
+    c.fast = run1(p, n * n, sd, dd, kFast);
+    c.ref = run1(p, n * n, sd, dd, kRef);
+    c.sched = run1(p, n * n, sd, dd, kSched);
+    c.naive = run1(p, n * n, sd, dd, kNaive);
     results.push_back(c);
   }
 
@@ -168,7 +227,7 @@ int main(int argc, char** argv) {
   }
 
   bench::header("E10", "Redistribution: slab intersection vs all-pairs packets",
-                "redistribute() communication engine");
+                "redistribute() communication engine + link-contention sweep");
   Table t({"case", "path", "msgs new/ref", "wire bytes new/ref",
            "modeled s new/ref", "byte ratio", "time ratio"});
   for (const CaseResult& c : results) {
@@ -182,8 +241,21 @@ int main(int argc, char** argv) {
                fmt(ratio(c.ref.seconds, c.fast.seconds), 2)});
   }
   t.print(std::cout);
-  std::cout << "\nthe slab protocol must send no empty messages and, for the\n"
-            << "float transpose, move >= 4x fewer wire bytes than the\n"
-            << "reference's padded {int64, float} packets.\n";
+
+  std::cout << "\nlink contention enabled (single-port links):\n\n";
+  Table tc({"case", "scheduled s", "naive-order s", "schedule speedup",
+            "link wait sched/naive", "self msgs"});
+  for (const CaseResult& c : results) {
+    tc.add_row({c.name, fmt(c.sched.seconds), fmt(c.naive.seconds),
+                fmt(ratio(c.naive.seconds, c.sched.seconds), 2),
+                fmt(c.sched.link_wait) + " / " + fmt(c.naive.link_wait),
+                std::to_string(c.sched.self_msgs)});
+  }
+  tc.print(std::cout);
+  std::cout << "\nthe slab protocol must send no empty and no self messages\n"
+            << "and, for the float transpose, move >= 4x fewer wire bytes\n"
+            << "than the reference's padded {int64, float} packets; under\n"
+            << "link contention the round-structured schedule must beat\n"
+            << "naive per-peer issue order on modeled time.\n";
   return 0;
 }

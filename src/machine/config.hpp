@@ -28,6 +28,21 @@ struct MachineConfig {
   double per_hop = 10.0e-6;        ///< extra latency per additional hop
   double byte_time = 0.4e-6;       ///< beta: seconds per payload byte
 
+  // --- link contention (single-port / postal model) ---
+  /// When true, the two directed edges attaching each node to the network
+  /// (its injection link and its ejection link) serialize: a link carries
+  /// one message at a time, occupied for `byte_time` per payload byte, and
+  /// later messages queue behind a busy-until clock (kept per port in
+  /// Processor).  Intermediate hops of the configured topology still add
+  /// `per_hop` latency but are cut-through, not serialized — the standard
+  /// model under which round-structured all-to-all schedules (each round a
+  /// perfect matching, runtime/schedule.hpp) are optimal and naive per-peer
+  /// issue order creates ejection-port hot spots.  Off, links are
+  /// infinitely parallel and message timing is exactly the pre-contention
+  /// model: payloads, message counts, and results are identical either
+  /// way; only clocks (and the link-wait counters in MachineStats) change.
+  bool link_contention = false;
+
   Topology topology = Topology::kHypercube;
 
   // --- harness behaviour (not part of the cost model) ---

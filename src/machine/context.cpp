@@ -29,16 +29,49 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   m.tag = tag;
   m.send_time = self_->clock();
   m.payload.assign(data.begin(), data.end());
+  if (config().link_contention) {
+    // Single-port injection: the message enters the network only once the
+    // outgoing link is free, then occupies it for its full wire time.  The
+    // sender's CPU is released after the software overhead (DMA).
+    const double start = std::max(m.send_time, self_->out_link_free());
+    if (start > m.send_time) {
+      cnt.link_wait_time += start - m.send_time;
+      cnt.contended_msgs += 1;
+    }
+    m.send_time = start;
+    self_->set_out_link_free(
+        start + static_cast<double>(m.payload.size()) * config().byte_time);
+  }
   cnt.msgs_sent += 1;
   cnt.bytes_sent += m.payload.size();
+  if (dst == rank()) {
+    cnt.self_msgs_by_tag[tag] += 1;
+  }
   machine_->proc(dst).mailbox().push(std::move(m));
 }
 
 Message Context::recv_message(int src, int tag) {
   Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall);
   auto& cnt = self_->counters();
-  const double arrival = m.send_time + machine_->wire_latency(m.src, rank()) +
-                         static_cast<double>(m.size_bytes()) * config().byte_time;
+  const double bytes_time =
+      static_cast<double>(m.size_bytes()) * config().byte_time;
+  const double nominal = m.send_time + machine_->wire_latency(m.src, rank());
+  double arrival;
+  if (config().link_contention) {
+    // Single-port ejection: the first byte can reach this node at `nominal`,
+    // but the incoming link carries one message at a time.  Contention is
+    // resolved in receive (program) order — deterministic because the
+    // ejection clock belongs to this thread alone.
+    const double start = std::max(nominal, self_->in_link_free());
+    if (start > nominal) {
+      cnt.link_wait_time += start - nominal;
+      cnt.contended_msgs += 1;
+    }
+    arrival = start + bytes_time;
+    self_->set_in_link_free(arrival);
+  } else {
+    arrival = nominal + bytes_time;
+  }
   const double before = self_->clock();
   const double ready = std::max(before, arrival);
   cnt.wait_time += ready - before;

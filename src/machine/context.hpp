@@ -8,6 +8,16 @@
 //   compute(f): clock += f * flop_time
 // which makes the final per-processor clocks a causally consistent schedule
 // of the program on the modeled hardware, independent of host scheduling.
+//
+// With MachineConfig::link_contention the wire term additionally serializes
+// on each node's injection and ejection links (single-port model):
+//   send:  send_time = max(clock, out_link_free);
+//          out_link_free = send_time + bytes * byte_time
+//   recv:  start = max(send_time + latency_eff, in_link_free)
+//          arrival = start + bytes * byte_time;  in_link_free = arrival
+// Both port clocks are owned by their processor's thread, so contention
+// resolution stays deterministic (ejection conflicts resolve in receive
+// order).  Payload routing is unchanged — only clocks move.
 #pragma once
 
 #include <cstring>

@@ -1,7 +1,9 @@
-// Per-processor state: mailbox, simulated clock, and activity counters.
+// Per-processor state: mailbox, simulated clock, link-port clocks, and
+// activity counters.
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "machine/mailbox.hpp"
 
@@ -17,6 +19,14 @@ struct ProcCounters {
   double compute_time = 0.0;   ///< time spent in modeled computation
   double overhead_time = 0.0;  ///< send/recv per-message software overhead
   double wait_time = 0.0;      ///< idle time waiting for message arrival
+  double link_wait_time = 0.0;       ///< time messages queued on busy links
+  std::uint64_t contended_msgs = 0;  ///< messages that found a link busy
+
+  /// Messages this rank sent to itself, by tag.  A self-message still pays
+  /// send/recv overhead plus wire latency in the cost model, so runtime
+  /// layers must copy locally instead; this map is how tests assert they do
+  /// (see MachineStats::self_msgs).
+  std::map<int, std::uint64_t> self_msgs_by_tag;
 
   ProcCounters& operator+=(const ProcCounters& o) {
     msgs_sent += o.msgs_sent;
@@ -27,6 +37,11 @@ struct ProcCounters {
     compute_time += o.compute_time;
     overhead_time += o.overhead_time;
     wait_time += o.wait_time;
+    link_wait_time += o.link_wait_time;
+    contended_msgs += o.contended_msgs;
+    for (const auto& [tag, n] : o.self_msgs_by_tag) {
+      self_msgs_by_tag[tag] += n;
+    }
     return *this;
   }
 };
@@ -43,18 +58,32 @@ class Processor {
   [[nodiscard]] double clock() const { return clock_; }
   void set_clock(double t) { clock_ = t; }
 
+  // Busy-until clocks of the two directed links attaching this node to the
+  // network (MachineConfig::link_contention).  The injection link is
+  // advanced by this processor's own sends, the ejection link as it
+  // processes receives — both only ever touched by the owning thread, which
+  // keeps contention resolution deterministic.
+  [[nodiscard]] double out_link_free() const { return out_link_free_; }
+  void set_out_link_free(double t) { out_link_free_ = t; }
+  [[nodiscard]] double in_link_free() const { return in_link_free_; }
+  void set_in_link_free(double t) { in_link_free_ = t; }
+
   Mailbox& mailbox() { return mailbox_; }
   ProcCounters& counters() { return counters_; }
   [[nodiscard]] const ProcCounters& counters() const { return counters_; }
 
   void reset() {
     clock_ = 0.0;
+    out_link_free_ = 0.0;
+    in_link_free_ = 0.0;
     counters_ = ProcCounters{};
   }
 
  private:
   int rank_;
   double clock_ = 0.0;  // simulated seconds; touched only by its own thread
+  double out_link_free_ = 0.0;  // injection link busy-until (own thread only)
+  double in_link_free_ = 0.0;   // ejection link busy-until (own thread only)
   ProcCounters counters_;
   Mailbox mailbox_;
 };

@@ -20,6 +20,43 @@ ProcCounters MachineStats::totals() const {
   return t;
 }
 
+std::uint64_t MachineStats::self_msgs(int tag) const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_proc) {
+    const auto it = c.self_msgs_by_tag.find(tag);
+    if (it != c.self_msgs_by_tag.end()) {
+      n += it->second;
+    }
+  }
+  return n;
+}
+
+std::uint64_t MachineStats::self_msgs_total() const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_proc) {
+    for (const auto& [tag, k] : c.self_msgs_by_tag) {
+      n += k;
+    }
+  }
+  return n;
+}
+
+double MachineStats::link_wait_time() const {
+  double t = 0.0;
+  for (const auto& c : per_proc) {
+    t += c.link_wait_time;
+  }
+  return t;
+}
+
+std::uint64_t MachineStats::contended_msgs() const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_proc) {
+    n += c.contended_msgs;
+  }
+  return n;
+}
+
 double MachineStats::compute_utilization() const {
   const double makespan = max_clock();
   if (makespan <= 0.0 || per_proc.empty()) {

@@ -21,6 +21,22 @@ struct MachineStats {
   /// This is the "how busy are the processors" number behind Figure 3/5
   /// and the pipelining discussion in sections 3-4 of the paper.
   [[nodiscard]] double compute_utilization() const;
+
+  /// Messages any rank sent to itself on `tag`, summed over processors.
+  /// The runtime's redistribute/remap layers must keep this at zero on
+  /// their reserved tags (a self-message pays full messaging cost for data
+  /// the rank already owns).
+  [[nodiscard]] std::uint64_t self_msgs(int tag) const;
+
+  /// Self-messages across all tags.
+  [[nodiscard]] std::uint64_t self_msgs_total() const;
+
+  /// Total simulated time messages spent queued on busy links
+  /// (MachineConfig::link_contention); zero when contention is off.
+  [[nodiscard]] double link_wait_time() const;
+
+  /// Messages that found an injection or ejection link busy.
+  [[nodiscard]] std::uint64_t contended_msgs() const;
 };
 
 }  // namespace kali

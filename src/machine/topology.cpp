@@ -18,6 +18,29 @@ int mesh_rows(int nprocs) {
   return r;
 }
 
+int diameter(Topology topo, int nprocs) {
+  KALI_CHECK(nprocs >= 1, "nprocs must be positive");
+  if (nprocs == 1) {
+    return 0;
+  }
+  switch (topo) {
+    case Topology::kComplete:
+      return 1;
+    case Topology::kRing:
+      return nprocs / 2;
+    case Topology::kMesh2D: {
+      const int rows = mesh_rows(nprocs);
+      const int cols = nprocs / rows;
+      return (rows - 1) + (cols - 1);
+    }
+    case Topology::kHypercube:
+      // Ranks need not be a power of two; the widest label pair decides.
+      return std::popcount(static_cast<std::uint32_t>(
+          std::bit_ceil(static_cast<std::uint32_t>(nprocs)) - 1u));
+  }
+  KALI_FAIL("unknown topology");
+}
+
 int hop_count(Topology topo, int nprocs, int a, int b) {
   KALI_CHECK(a >= 0 && a < nprocs && b >= 0 && b < nprocs,
              "rank out of range");

@@ -18,4 +18,10 @@ int hop_count(Topology topo, int nprocs, int a, int b);
 /// Rows of the near-square factorization used by kMesh2D (exposed for tests).
 int mesh_rows(int nprocs);
 
+/// Network diameter: the largest hop count between any two of `nprocs`
+/// ranks.  Used by the performance predictor to bound the per-message
+/// latency of all-to-all exchanges, where the worst-separated pair sets the
+/// wire term.
+int diameter(Topology topo, int nprocs);
+
 }  // namespace kali

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "machine/topology.hpp"
 #include "support/check.hpp"
 
 namespace kali {
@@ -76,6 +77,43 @@ double Predictor::mtri_solve(int nsys, int n, int p) const {
   const double per_step = ft() * (12.0 * mloc + 5.0 * mloc + 60.0) +
                           cfg_.send_overhead + cfg_.recv_overhead;
   return (nsys + 2.0 * k) * per_step + message(8 * 8, 1);
+}
+
+double Predictor::all_to_all(int p, double bytes, bool contention) const {
+  KALI_CHECK(p >= 1, "all_to_all: p must be positive");
+  if (p <= 1) {
+    return 0.0;
+  }
+  // Worst-separated pair bounds the one-off latency term.
+  const double alpha =
+      cfg_.latency + cfg_.per_hop * (diameter(cfg_.topology, p) - 1);
+  const double slab = bytes * cfg_.byte_time;
+  const double per_msg = cfg_.send_overhead + cfg_.recv_overhead;
+  if (!contention) {
+    // Slabs overlap on infinitely parallel links: p-1 software overheads
+    // back to back, one latency, and only the last slab's wire time shows.
+    return (p - 1) * per_msg + alpha + slab;
+  }
+  // Round-structured: each of the p-1 rounds moves one slab per port, and
+  // rounds pipeline — whichever of wire time and software overhead is
+  // larger paces the rounds; the final slab's drain and latency are paid
+  // once.
+  return (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
+}
+
+double Predictor::all_to_all_naive(int p, double bytes) const {
+  KALI_CHECK(p >= 1, "all_to_all: p must be positive");
+  if (p <= 1) {
+    return 0.0;
+  }
+  const double alpha =
+      cfg_.latency + cfg_.per_hop * (diameter(cfg_.topology, p) - 1);
+  const double slab = bytes * cfg_.byte_time;
+  const double per_msg = cfg_.send_overhead + cfg_.recv_overhead;
+  // Ascending-peer issue: every rank's k-th injection targets ejection
+  // port k, so the last port receives a whole wave at once and drains it
+  // serially after its own injections finish — the wire term doubles.
+  return 2.0 * (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
 }
 
 double Predictor::adi_iteration(int n, int px, int py, bool pipelined) const {

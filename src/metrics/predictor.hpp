@@ -44,6 +44,25 @@ class Predictor {
   /// One ADI iteration on an n x n interior grid over px x py (Listing 7/8).
   [[nodiscard]] double adi_iteration(int n, int px, int py, bool pipelined) const;
 
+  /// Wire-plus-overhead time of a complete exchange among p ranks where
+  /// every ordered pair carries `bytes` — the fft2/ADI transpose shape
+  /// redistribute() produces between (block, *) and (*, block) — issued
+  /// through the round-structured schedule of runtime/schedule.hpp.
+  /// `contention` mirrors MachineConfig::link_contention: with it, each of
+  /// the p-1 rounds is a perfect matching, so every injection/ejection
+  /// link carries one slab per round and the wire term is (p-1) slab
+  /// times; without it, slabs overlap and only the last is visible.
+  /// Pack/unpack compute (one flop per element each side) is excluded —
+  /// add it via flop_time if comparing against simulated makespans.
+  [[nodiscard]] double all_to_all(int p, double bytes, bool contention) const;
+
+  /// The same exchange issued in naive ascending-peer order under link
+  /// contention: all ranks inject toward the same ejection port in the
+  /// same wave, so the hottest port drains a whole wave after the last
+  /// injection — about twice the scheduled wire time.  This is the cost
+  /// the schedule removes (bench_redistribute's naive_order column).
+  [[nodiscard]] double all_to_all_naive(int p, double bytes) const;
+
  private:
   [[nodiscard]] double ft() const { return cfg_.flop_time; }
 

@@ -28,6 +28,21 @@
 //    peer.  O(local n + peers) — never the O(local n × P) all-pairs
 //    ownership scan of the original implementation.
 //
+// A rank's overlap with *itself* never touches the network: all paths peel
+// the self-intersection off into a direct local copy (one op per element)
+// before any message is issued — a self-message would charge send/recv
+// overhead plus wire latency for data the rank already owns, and
+// MachineStats::self_msgs(kTagRedistData) lets tests assert none slip
+// through.
+//
+// Remote messages are issued through the round-structured schedules of
+// runtime/schedule.hpp (XOR pairwise exchange for power-of-two
+// communicators, latin-square ordering otherwise), so each round is a
+// perfect matching over the union of the two views and, with
+// MachineConfig::link_contention, no injection or ejection link is
+// oversubscribed.  IssueOrder::kPeerOrder preserves the raw enumeration
+// order as the naive baseline bench_redistribute compares against.
+//
 // The original implementation (per-element {index, value} packets, full
 // P_src × P_dst message flood including empty messages) is retained as
 // redistribute_reference(): it is the oracle for differential tests and the
@@ -36,11 +51,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "machine/message.hpp"  // kTagRedistData (reserved-tag registry)
 #include "runtime/dist_array.hpp"
 #include "runtime/io.hpp"  // linearize / delinearize
+#include "runtime/schedule.hpp"
 
 namespace kali {
 
@@ -96,6 +113,19 @@ struct Box {
     return v;
   }
 };
+
+/// Componentwise intersection; empty iff the boxes are disjoint (or either
+/// input was already empty).
+template <int R>
+Box<R> intersect(const Box<R>& a, const Box<R>& b) {
+  Box<R> r;
+  for (int d = 0; d < R; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    r.lo[ud] = std::max(a.lo[ud], b.lo[ud]);
+    r.hi[ud] = std::min(a.hi[ud], b.hi[ud]);
+  }
+  return r;
+}
 
 /// Visit every global index of a (nonempty) box in row-major order — the
 /// wire order both endpoints of a slab transfer agree on.
@@ -194,9 +224,12 @@ void for_each_intersecting_peer(const DistArray<T, R>& A, const Box<R>& within,
 
 /// Copy src's contents into dst (same global extents, any distributions /
 /// views — the views may even be disjoint rank sets).  Collective over the
-/// union of both views' members.
+/// union of both views' members.  Remote messages are issued in
+/// round-schedule order by default; kPeerOrder keeps the raw enumeration
+/// order (the naive baseline under link contention).
 template <class T, int R>
-void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst) {
+void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst,
+                  IssueOrder order = IssueOrder::kRoundSchedule) {
   for (int d = 0; d < R; ++d) {
     KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
   }
@@ -205,38 +238,63 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
   if (!in_src && !in_dst) {
     return;
   }
+  const std::vector<int> members =
+      detail::union_members(src.view().ranks(), dst.view().ranks());
 
   if (detail::box_eligible(src) && detail::box_eligible(dst)) {
     // ---- box-intersection fast path: contiguous slab exchange -----------
+    if (in_src && in_dst) {
+      // Self-overlap stays off the network: direct local copy.
+      const detail::Box<R> overlap =
+          detail::intersect(detail::owned_box(src), detail::owned_box(dst));
+      if (!overlap.empty()) {
+        detail::for_each_in_box(overlap, [&](GIndex<R> g) { dst.at(g) = src.at(g); });
+        ctx.compute(static_cast<double>(overlap.volume()));
+      }
+    }
     if (in_src) {
       const detail::Box<R> mine = detail::owned_box(src);
       if (!mine.empty()) {
+        std::vector<std::pair<int, detail::Box<R>>> out;
+        detail::for_each_intersecting_peer(
+            dst, mine, [&](int rank, const detail::Box<R>& b) {
+              if (rank != ctx.rank()) {
+                out.emplace_back(rank, b);
+              }
+            });
+        detail::round_sort(out, members, ctx.rank(), order);
         std::vector<T> buf;
         double packed = 0;
-        detail::for_each_intersecting_peer(dst, mine, [&](int rank,
-                                                          const detail::Box<R>& b) {
+        for (const auto& [rank, b] : out) {
           buf.clear();
           buf.reserve(static_cast<std::size_t>(b.volume()));
           detail::for_each_in_box(b, [&](GIndex<R> g) { buf.push_back(src.at(g)); });
           ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(buf));
           packed += static_cast<double>(buf.size());
-        });
+        }
         ctx.compute(packed);
       }
     }
     if (in_dst) {
       const detail::Box<R> mine = detail::owned_box(dst);
       if (!mine.empty()) {
+        std::vector<std::pair<int, detail::Box<R>>> in;
+        detail::for_each_intersecting_peer(
+            src, mine, [&](int rank, const detail::Box<R>& b) {
+              if (rank != ctx.rank()) {
+                in.emplace_back(rank, b);
+              }
+            });
+        detail::round_sort(in, members, ctx.rank(), order);
         double unpacked = 0;
-        detail::for_each_intersecting_peer(src, mine, [&](int rank,
-                                                          const detail::Box<R>& b) {
+        for (const auto& [rank, b] : in) {
           auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
           KALI_CHECK(vals.size() == static_cast<std::size_t>(b.volume()),
                      "redistribute: slab size mismatch");
           std::size_t k = 0;
           detail::for_each_in_box(b, [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
           unpacked += static_cast<double>(k);
-        });
+        }
         ctx.compute(unpacked);
       }
     }
@@ -246,20 +304,32 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
   // ---- general path: per-dim owner binning ------------------------------
   // Sender and receiver each walk their own elements once (row-major), so
   // the per-peer value sequences agree element-for-element without any
-  // index metadata or count exchange.
+  // index metadata or count exchange.  Elements whose destination owner is
+  // the sender itself are never binned: the receiver side copies them
+  // straight from the local source slab.
   if (in_src) {
     const std::vector<int> dst_ranks = dst.view().ranks();
+    const std::size_t self_di =
+        in_dst ? static_cast<std::size_t>(dst.view().linear_index_of(ctx.rank()))
+               : dst_ranks.size();  // sentinel: matches no bin
     std::vector<std::vector<T>> bins(dst_ranks.size());
     src.for_each_owned([&](GIndex<R> g) {
-      bins[detail::owner_index(dst, g)].push_back(src.at(g));
+      const std::size_t di = detail::owner_index(dst, g);
+      if (di != self_di) {
+        bins[di].push_back(src.at(g));
+      }
     });
-    double packed = 0;
+    std::vector<std::pair<int, std::vector<T>>> out;
     for (std::size_t pi = 0; pi < bins.size(); ++pi) {
       if (!bins[pi].empty()) {
-        ctx.send_span<T>(dst_ranks[pi], kTagRedistData,
-                         std::span<const T>(bins[pi]));
-        packed += static_cast<double>(bins[pi].size());
+        out.emplace_back(dst_ranks[pi], std::move(bins[pi]));
       }
+    }
+    detail::round_sort(out, members, ctx.rank(), order);
+    double packed = 0;
+    for (const auto& [rank, vals] : out) {
+      ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(vals));
+      packed += static_cast<double>(vals.size());
     }
     ctx.compute(packed);
   }
@@ -269,16 +339,28 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
     dst.for_each_owned([&](GIndex<R> g) {
       expect[detail::owner_index(src, g)].push_back(g);
     });
+    std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
     double unpacked = 0;
     for (std::size_t pi = 0; pi < expect.size(); ++pi) {
       if (expect[pi].empty()) {
         continue;
       }
-      auto vals = ctx.recv_vec<T>(src_ranks[pi], kTagRedistData);
-      KALI_CHECK(vals.size() == expect[pi].size(),
-                 "redistribute: bin size mismatch");
+      if (src_ranks[pi] == ctx.rank()) {
+        // Self-overlap: both owners are this rank — local copy.
+        for (const GIndex<R>& g : expect[pi]) {
+          dst.at(g) = src.at(g);
+        }
+        unpacked += static_cast<double>(expect[pi].size());
+        continue;
+      }
+      in.emplace_back(src_ranks[pi], std::move(expect[pi]));
+    }
+    detail::round_sort(in, members, ctx.rank(), order);
+    for (const auto& [rank, idxs] : in) {
+      auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
+      KALI_CHECK(vals.size() == idxs.size(), "redistribute: bin size mismatch");
       for (std::size_t k = 0; k < vals.size(); ++k) {
-        dst.at(expect[pi][k]) = vals[k];
+        dst.at(idxs[k]) = vals[k];
       }
       unpacked += static_cast<double>(vals.size());
     }
@@ -291,6 +373,8 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
 /// and sends per-element {index, value} packets to *all* destination ranks,
 /// empty lists included.  Kept, unoptimized, as the oracle for differential
 /// tests and as the baseline of bench_redistribute — do not use in new code.
+/// The one fix it shares with redistribute(): a rank's packets to *itself*
+/// are applied locally instead of round-tripping through the mailbox.
 template <class T, int R>
 void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
                             DistArray<T, R>& dst) {
@@ -311,6 +395,7 @@ void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
   };
   std::vector<int> peers = dst.view().ranks();
   std::vector<std::vector<Packet>> outgoing;
+  std::vector<Packet> self_pkts;
   if (in_src) {
     outgoing.assign(peers.size(), {});
     src.for_each_owned([&](GIndex<R> g) {
@@ -332,11 +417,15 @@ void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
       }
     });
     for (std::size_t pi = 0; pi < peers.size(); ++pi) {
+      if (peers[pi] == ctx.rank()) {
+        self_pkts = std::move(outgoing[pi]);
+        continue;
+      }
       ctx.send_span<Packet>(peers[pi], kTagRedistData,
                             std::span<const Packet>(outgoing[pi]));
     }
     ctx.compute(static_cast<double>([&] {
-      std::size_t n = 0;
+      std::size_t n = self_pkts.size();
       for (const auto& v : outgoing) {
         n += v.size();
       }
@@ -345,6 +434,13 @@ void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
   }
   if (in_dst) {
     for (int srank : src.view().ranks()) {
+      if (srank == ctx.rank()) {
+        for (const auto& p : self_pkts) {
+          dst.at(detail::delinearize<R>(p.idx, ext)) = p.val;
+        }
+        ctx.compute(static_cast<double>(self_pkts.size()));
+        continue;
+      }
       auto pkts = ctx.recv_vec<Packet>(srank, kTagRedistData);
       for (const auto& p : pkts) {
         dst.at(detail::delinearize<R>(p.idx, ext)) = p.val;

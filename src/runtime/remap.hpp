@@ -10,46 +10,200 @@
 // Restriction injects  dst_coarse[K] = src_fine[2K]   (s_stride=2, d_stride=1);
 // interpolation spreads dst_fine[2K] = src_coarse[K]  (s_stride=1, d_stride=2).
 //
-// Like redistribute(), the protocol is analytic: each source owner computes
-// the unique destination owner of every transferred element in O(R) (one
-// owner() per dim), each destination owner computes the unique source owner
-// of every element it expects, and messages travel only between rank pairs
-// that actually share elements — no counts on the wire, no empty-message
-// flood, no all-pairs ownership scan.  Payloads are raw values: both sides
-// enumerate their shared elements in row-major order (the strided dim
-// mapping is monotone, so source order and destination order agree), so no
-// per-element index metadata is needed.
+// Like redistribute(), the protocol is analytic: messages travel only
+// between rank pairs that actually share elements — no counts on the wire,
+// no empty-message flood, no all-pairs ownership scan.  Payloads are raw
+// values: both sides enumerate their shared elements in row-major order
+// (the strided dim mapping is monotone, so source order and destination
+// order agree), so no per-element index metadata is needed.  A rank's
+// overlap with itself is copied locally, never sent
+// (MachineStats::self_msgs(kTagRemap) stays zero), and remote messages are
+// issued through the round-structured schedules of runtime/schedule.hpp.
+//
+// Two paths implement the protocol:
+//
+//  * Box fast path (all dims of both arrays block or star): the transfer
+//    set is parameterized by t — along `dim` each rank's owned block maps
+//    to a contiguous t-interval, and off-dims intersect as axis-aligned
+//    boxes — so peers are enumerated in O(peers) from per-dim owner ranges
+//    and payloads are contiguous slabs, with no per-element owner lookups.
+//
+//  * Per-element owner binning (any cyclic/block-cyclic dim): each side
+//    walks its own elements once, computing the unique opposite owner in
+//    O(R) per element.  Exposed as copy_strided_dim_binned(): the fallback
+//    for cyclic layouts and the differential-test oracle for the box path.
 #pragma once
+
+#include <utility>
+#include <vector>
 
 #include "machine/message.hpp"  // kTagRemap (reserved-tag registry)
 #include "runtime/redistribute.hpp"
 
 namespace kali {
 
-template <class T, int R>
-void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
-                      DistArray<T, R>& dst, int dim, int s_stride, int s_off,
-                      int d_stride, int d_off, int count) {
+namespace detail {
+
+/// Floor/ceil division for positive divisors and any-sign dividends.
+inline int floor_div(int a, int b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+inline int ceil_div(int a, int b) {
+  return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Inclusive interval of transfer steps t; hi < lo means empty.
+struct TRange {
+  int lo = 0;
+  int hi = -1;
+
+  [[nodiscard]] bool empty() const { return hi < lo; }
+};
+
+/// Steps t with off + t * stride inside the global range [glo, ghi],
+/// clipped to [0, tmax].
+inline TRange strided_steps(int glo, int ghi, int off, int stride, int tmax) {
+  TRange r;
+  r.lo = std::max(0, ceil_div(glo - off, stride));
+  r.hi = std::min(tmax, floor_div(ghi - off, stride));
+  return r;
+}
+
+/// Visit every rank of box-eligible `A` whose owned set intersects the
+/// transfer set (`within`'s ranges on off-dims, steps `tr` through
+/// off + t * stride along `dim`), passing the rank, the off-dim overlap
+/// box, and the step subrange.  O(peers), like for_each_intersecting_peer;
+/// ranks whose block skips every strided step (stride larger than the
+/// block) are filtered out, identically on both endpoints.
+template <class T, int R, class Fn>
+void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
+                           int dim, TRange tr, int off, int stride, Fn fn) {
+  const int nd = A.view().ndims();
+  std::array<int, kMaxProcDims> adim{};  // grid dim -> bound array dim
+  for (int d = 0; d < R; ++d) {
+    if (A.proc_dim(d) >= 0) {
+      adim[static_cast<std::size_t>(A.proc_dim(d))] = d;
+    }
+  }
+  std::array<int, kMaxProcDims> clo{};
+  std::array<int, kMaxProcDims> chi{};
+  for (int pd = 0; pd < nd; ++pd) {
+    const auto upd = static_cast<std::size_t>(pd);
+    const int d = adim[upd];
+    if (d == dim) {
+      clo[upd] = A.map(d).owner(off + tr.lo * stride);
+      chi[upd] = A.map(d).owner(off + tr.hi * stride);
+    } else {
+      const auto ud = static_cast<std::size_t>(d);
+      clo[upd] = A.map(d).owner(within.lo[ud]);
+      chi[upd] = A.map(d).owner(within.hi[ud]);
+    }
+  }
+  std::array<int, kMaxProcDims> c = clo;
+  for (;;) {
+    Box<R> b = within;  // star dims of A: peer holds the whole extent
+    TRange t = tr;
+    bool nonempty = true;
+    for (int pd = 0; pd < nd && nonempty; ++pd) {
+      const auto upd = static_cast<std::size_t>(pd);
+      const int d = adim[upd];
+      if (d == dim) {
+        t.lo = std::max(
+            t.lo, ceil_div(A.map(d).block_lower(c[upd]) - off, stride));
+        t.hi = std::min(
+            t.hi, floor_div(A.map(d).block_upper(c[upd]) - off, stride));
+        nonempty = !t.empty();
+      } else {
+        const auto ud = static_cast<std::size_t>(d);
+        b.lo[ud] = std::max(within.lo[ud], A.map(d).block_lower(c[upd]));
+        b.hi[ud] = std::min(within.hi[ud], A.map(d).block_upper(c[upd]));
+      }
+    }
+    if (nonempty) {
+      fn(A.view().rank_of(c), b, t);
+    }
+    int pd = nd - 1;
+    for (; pd >= 0; --pd) {
+      const auto upd = static_cast<std::size_t>(pd);
+      if (++c[upd] <= chi[upd]) {
+        break;
+      }
+      c[upd] = clo[upd];
+    }
+    if (pd < 0) {
+      return;
+    }
+  }
+}
+
+/// Visit the slab (off-dim box `b`, steps [t.lo, t.hi]) in row-major order
+/// — the agreed wire order — passing global indices with dimension `dim`
+/// mapped through off + t * stride.
+template <int R, class Fn>
+void for_each_strided_in_box(const Box<R>& b, TRange t, int dim, int off,
+                             int stride, Fn fn) {
   const auto ud = static_cast<std::size_t>(dim);
+  Box<R> e = b;
+  e.lo[ud] = t.lo;
+  e.hi[ud] = t.hi;
+  if (e.empty()) {
+    return;
+  }
+  for_each_in_box(e, [&](GIndex<R> g) {
+    g[ud] = off + g[ud] * stride;
+    fn(g);
+  });
+}
+
+/// Shared argument validation for both copy_strided_dim implementations.
+template <class T, int R>
+void check_strided_args(const DistArray<T, R>& src, const DistArray<T, R>& dst,
+                        int dim, int s_stride, int s_off, int d_stride,
+                        int d_off, int count) {
   for (int d = 0; d < R; ++d) {
     if (d != dim) {
       KALI_CHECK(src.extent(d) == dst.extent(d),
                  "copy_strided_dim: extent mismatch off-dim");
     }
   }
+  KALI_CHECK(s_stride >= 1 && d_stride >= 1,
+             "copy_strided_dim: strides must be positive");
   KALI_CHECK(count >= 0, "copy_strided_dim: bad count");
   KALI_CHECK(count == 0 || (s_off + (count - 1) * s_stride < src.extent(dim) &&
                             d_off + (count - 1) * d_stride < dst.extent(dim)),
              "copy_strided_dim: range out of bounds");
+  KALI_CHECK(count == 0 || (s_off >= 0 && d_off >= 0),
+             "copy_strided_dim: negative offset");
+}
 
+}  // namespace detail
+
+/// The owner-binning implementation of copy_strided_dim: each side walks
+/// its own elements once, computing the unique opposite owner per element.
+/// Handles every distribution kind; used directly by copy_strided_dim for
+/// cyclic/block-cyclic layouts and kept callable as the differential-test
+/// oracle for the box fast path.
+template <class T, int R>
+void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
+                             DistArray<T, R>& dst, int dim, int s_stride,
+                             int s_off, int d_stride, int d_off, int count,
+                             IssueOrder order = IssueOrder::kRoundSchedule) {
+  detail::check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off,
+                             count);
+  const auto ud = static_cast<std::size_t>(dim);
   const bool in_src = src.participating();
   const bool in_dst = dst.participating();
-  if (!in_src && !in_dst) {
+  if ((!in_src && !in_dst) || count == 0) {
     return;
   }
+  const std::vector<int> members =
+      detail::union_members(src.view().ranks(), dst.view().ranks());
 
   if (in_src) {
     const std::vector<int> dst_ranks = dst.view().ranks();
+    const std::size_t self_di =
+        in_dst ? static_cast<std::size_t>(dst.view().linear_index_of(ctx.rank()))
+               : dst_ranks.size();  // sentinel: matches no bin
     std::vector<std::vector<T>> bins(dst_ranks.size());
     src.for_each_owned([&](GIndex<R> g) {
       const int rel = g[ud] - s_off;
@@ -58,15 +212,22 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
       }
       GIndex<R> gd = g;
       gd[ud] = d_off + (rel / s_stride) * d_stride;
-      bins[detail::owner_index(dst, gd)].push_back(src.at(g));
+      const std::size_t di = detail::owner_index(dst, gd);
+      if (di != self_di) {
+        bins[di].push_back(src.at(g));
+      }
     });
-    double moved = 0;
+    std::vector<std::pair<int, std::vector<T>>> out;
     for (std::size_t pi = 0; pi < bins.size(); ++pi) {
       if (!bins[pi].empty()) {
-        ctx.send_span<T>(dst_ranks[pi], kTagRemap,
-                         std::span<const T>(bins[pi]));
-        moved += static_cast<double>(bins[pi].size());
+        out.emplace_back(dst_ranks[pi], std::move(bins[pi]));
       }
+    }
+    detail::round_sort(out, members, ctx.rank(), order);
+    double moved = 0;
+    for (const auto& [rank, vals] : out) {
+      ctx.send_span<T>(rank, kTagRemap, std::span<const T>(vals));
+      moved += static_cast<double>(vals.size());
     }
     ctx.compute(moved);
   }
@@ -84,20 +245,138 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
       gs[ud] = s_off + (rel / d_stride) * s_stride;
       expect[detail::owner_index(src, gs)].push_back(g);
     });
+    std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
     double unpacked = 0;
     for (std::size_t pi = 0; pi < expect.size(); ++pi) {
       if (expect[pi].empty()) {
         continue;
       }
-      auto vals = ctx.recv_vec<T>(src_ranks[pi], kTagRemap);
-      KALI_CHECK(vals.size() == expect[pi].size(),
+      if (src_ranks[pi] == ctx.rank()) {
+        // Self-overlap: both owners are this rank — local copy.
+        for (const GIndex<R>& g : expect[pi]) {
+          GIndex<R> gs = g;
+          gs[ud] = s_off + ((g[ud] - d_off) / d_stride) * s_stride;
+          dst.at(g) = src.at(gs);
+        }
+        unpacked += static_cast<double>(expect[pi].size());
+        continue;
+      }
+      in.emplace_back(src_ranks[pi], std::move(expect[pi]));
+    }
+    detail::round_sort(in, members, ctx.rank(), order);
+    for (const auto& [rank, idxs] : in) {
+      auto vals = ctx.recv_vec<T>(rank, kTagRemap);
+      KALI_CHECK(vals.size() == idxs.size(),
                  "copy_strided_dim: bin size mismatch");
       for (std::size_t k = 0; k < vals.size(); ++k) {
-        dst.at(expect[pi][k]) = vals[k];
+        dst.at(idxs[k]) = vals[k];
       }
       unpacked += static_cast<double>(vals.size());
     }
     ctx.compute(unpacked);
+  }
+}
+
+template <class T, int R>
+void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
+                      DistArray<T, R>& dst, int dim, int s_stride, int s_off,
+                      int d_stride, int d_off, int count,
+                      IssueOrder order = IssueOrder::kRoundSchedule) {
+  const auto ud = static_cast<std::size_t>(dim);
+  detail::check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off,
+                             count);
+  if (count == 0) {
+    return;
+  }
+
+  if (!detail::box_eligible(src) || !detail::box_eligible(dst)) {
+    copy_strided_dim_binned(ctx, src, dst, dim, s_stride, s_off, d_stride,
+                            d_off, count, order);
+    return;
+  }
+
+  // ---- box fast path: contiguous slab exchange ---------------------------
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (!in_src && !in_dst) {
+    return;
+  }
+  const std::vector<int> members =
+      detail::union_members(src.view().ranks(), dst.view().ranks());
+
+  struct Slab {
+    detail::Box<R> b;  ///< off-dim overlap (dim slot unused)
+    detail::TRange t;  ///< transfer steps shared with the peer
+  };
+
+  if (in_src) {
+    const detail::Box<R> mine = detail::owned_box(src);
+    const detail::TRange tm = detail::strided_steps(
+        mine.lo[ud], mine.hi[ud], s_off, s_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      std::vector<std::pair<int, Slab>> out;
+      detail::for_each_strided_peer(
+          dst, mine, dim, tm, d_off, d_stride,
+          [&](int rank, const detail::Box<R>& b, detail::TRange t) {
+            if (rank != ctx.rank()) {  // self-overlap copied on recv side
+              out.emplace_back(rank, Slab{b, t});
+            }
+          });
+      detail::round_sort(out, members, ctx.rank(), order);
+      std::vector<T> buf;
+      double packed = 0;
+      for (const auto& [rank, slab] : out) {
+        buf.clear();
+        detail::for_each_strided_in_box(
+            slab.b, slab.t, dim, s_off, s_stride,
+            [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+        ctx.send_span<T>(rank, kTagRemap, std::span<const T>(buf));
+        packed += static_cast<double>(buf.size());
+      }
+      ctx.compute(packed);
+    }
+  }
+  if (in_dst) {
+    const detail::Box<R> mine = detail::owned_box(dst);
+    const detail::TRange tm = detail::strided_steps(
+        mine.lo[ud], mine.hi[ud], d_off, d_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      std::vector<std::pair<int, Slab>> in;
+      double unpacked = 0;
+      detail::for_each_strided_peer(
+          src, mine, dim, tm, s_off, s_stride,
+          [&](int rank, const detail::Box<R>& b, detail::TRange t) {
+            if (rank == ctx.rank()) {
+              // Self-overlap: both owners are this rank — local copy.
+              detail::for_each_strided_in_box(
+                  b, t, dim, 0, 1, [&](GIndex<R> g) {
+                    GIndex<R> gs = g;
+                    GIndex<R> gd = g;
+                    gs[ud] = s_off + g[ud] * s_stride;
+                    gd[ud] = d_off + g[ud] * d_stride;
+                    dst.at(gd) = src.at(gs);
+                    unpacked += 1.0;
+                  });
+            } else {
+              in.emplace_back(rank, Slab{b, t});
+            }
+          });
+      detail::round_sort(in, members, ctx.rank(), order);
+      for (const auto& [rank, slab] : in) {
+        auto vals = ctx.recv_vec<T>(rank, kTagRemap);
+        detail::Box<R> e = slab.b;  // payload size check before unpacking
+        e.lo[ud] = slab.t.lo;
+        e.hi[ud] = slab.t.hi;
+        KALI_CHECK(vals.size() == static_cast<std::size_t>(e.volume()),
+                   "copy_strided_dim: slab size mismatch");
+        std::size_t k = 0;
+        detail::for_each_strided_in_box(
+            slab.b, slab.t, dim, d_off, d_stride,
+            [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+        unpacked += static_cast<double>(k);
+      }
+      ctx.compute(unpacked);
+    }
   }
 }
 

@@ -1,0 +1,165 @@
+// Round-structured communication schedules for all-to-all style exchanges
+// — the ordering layer between the redistribution engine (which computes
+// *what* travels between each rank pair) and the machine (which, with
+// MachineConfig::link_contention, serializes each node's injection and
+// ejection links).
+//
+// A CommSchedule partitions the ordered rank pairs of an n-member
+// communicator into rounds, each round a perfect matching: every member
+// sends to at most one partner and receives from at most one partner per
+// round, so no link is oversubscribed.  Two classical constructions:
+//
+//  * n a power of two — XOR / pairwise exchange: in round r, member i
+//    partners i ^ (r+1).  n-1 rounds; on a hypercube, round r's pairs
+//    differ in exactly the bits of r+1, so rounds also spread across
+//    physical dimensions.
+//
+//  * otherwise — latin-square (1-factorization) ordering: in round r,
+//    member i partners (r - i) mod n.  n rounds; members for which
+//    2i = r (mod n) sit the round out.
+//
+// Both constructions are involutions per round (my round-r partner's
+// round-r partner is me) and cover every ordered pair exactly once, so a
+// sender issuing in round order and a receiver posting receives in round
+// order agree on a common global order without any extra synchronization:
+// round r's messages are injected while round r-1's drain, links stay
+// conflict-free, and the all-to-all completes in (n-1) wire slots instead
+// of the ~2(n-1) that naive per-peer issue order costs under contention
+// (every member hammering the same low-ranked ejection ports first).
+//
+// redistribute() / copy_strided_dim() collect their per-peer messages and
+// pass them through round_sort() before issuing; IssueOrder::kPeerOrder
+// preserves the raw enumeration order (the pre-scheduling behaviour, kept
+// for benchmarking the difference).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "machine/trace.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+/// How a runtime exchange orders its per-peer messages.
+enum class IssueOrder {
+  kRoundSchedule,  ///< round-structured (default; contention-safe)
+  kPeerOrder,      ///< raw peer-enumeration order (naive baseline)
+};
+
+/// Round/partner algebra of an n-member all-to-all schedule.  Members are
+/// dense indices 0..n-1 (a communicator's linearized ranks, not machine
+/// ranks).
+class CommSchedule {
+ public:
+  explicit CommSchedule(int nranks) : n_(nranks) {
+    KALI_CHECK(nranks >= 1, "schedule needs at least one member");
+    pow2_ = nranks >= 2 && (nranks & (nranks - 1)) == 0;
+  }
+
+  [[nodiscard]] int nranks() const { return n_; }
+
+  /// Number of rounds: n-1 for powers of two, n otherwise (latin-square
+  /// rounds where 2i = r (mod n) idle member i), 0 for a singleton.
+  [[nodiscard]] int rounds() const {
+    if (n_ == 1) {
+      return 0;
+    }
+    return pow2_ ? n_ - 1 : n_;
+  }
+
+  /// Member i's partner in `round`; equal to i when i idles that round.
+  [[nodiscard]] int partner(int round, int i) const {
+    KALI_CHECK(round >= 0 && round < rounds(), "round out of range");
+    KALI_CHECK(i >= 0 && i < n_, "member out of range");
+    if (pow2_) {
+      return i ^ (round + 1);
+    }
+    return ((round - i) % n_ + n_) % n_;
+  }
+
+  /// The unique round in which members i and j (i != j) are partners.
+  [[nodiscard]] int round_of(int i, int j) const {
+    KALI_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_ && i != j,
+               "round_of needs two distinct members");
+    return pow2_ ? (i ^ j) - 1 : (i + j) % n_;
+  }
+
+ private:
+  int n_;
+  bool pow2_ = false;
+};
+
+/// Member i's partners in round order — the issue order for i's sends and
+/// the posting order for its receives.  Idle rounds are skipped, so the
+/// result is a permutation of every other member.
+inline std::vector<int> round_order(const CommSchedule& s, int i) {
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(s.nranks() - 1));
+  for (int r = 0; r < s.rounds(); ++r) {
+    const int p = s.partner(r, i);
+    if (p != i) {
+      peers.push_back(p);
+    }
+  }
+  return peers;
+}
+
+/// Fill `t` with the schedule as a (round x member) activity matrix: 'x'
+/// where a member exchanges that round, '.' where it idles — Figure-5-style
+/// rendering of the matchings, and the form tests assert on.  (ActivityTrace
+/// owns a mutex, so it is filled in place rather than returned.)
+inline void schedule_trace(const CommSchedule& s, ActivityTrace& t) {
+  t.resize(s.rounds(), s.nranks());
+  for (int r = 0; r < s.rounds(); ++r) {
+    for (int i = 0; i < s.nranks(); ++i) {
+      if (s.partner(r, i) != i) {
+        t.mark(r, i, 'x');
+      }
+    }
+  }
+}
+
+namespace detail {
+
+/// Sorted union of two rank sets: the common communicator both endpoints of
+/// a redistribution derive the schedule from.
+inline std::vector<int> union_members(std::vector<int> a,
+                                      const std::vector<int>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+/// Dense index of `rank` within sorted `members`.
+inline int member_index(std::span<const int> members, int rank) {
+  const auto it = std::lower_bound(members.begin(), members.end(), rank);
+  KALI_CHECK(it != members.end() && *it == rank,
+             "rank not a member of the schedule");
+  return static_cast<int>(it - members.begin());
+}
+
+/// Reorder per-peer messages (machine rank, payload) into round order for
+/// `self_rank` within the sorted communicator `members`.  kPeerOrder leaves
+/// the enumeration order untouched.  Self-messages must have been peeled
+/// off into local copies before this point.
+template <class Payload>
+void round_sort(std::vector<std::pair<int, Payload>>& msgs,
+                std::span<const int> members, int self_rank, IssueOrder order) {
+  if (order == IssueOrder::kPeerOrder || msgs.size() < 2) {
+    return;
+  }
+  const CommSchedule sched(static_cast<int>(members.size()));
+  const int me = member_index(members, self_rank);
+  std::stable_sort(msgs.begin(), msgs.end(),
+                   [&](const auto& a, const auto& b) {
+                     return sched.round_of(me, member_index(members, a.first)) <
+                            sched.round_of(me, member_index(members, b.first));
+                   });
+}
+
+}  // namespace detail
+
+}  // namespace kali

@@ -223,6 +223,144 @@ TEST(Machine, RingTopologyChargesCyclicDistance) {
   EXPECT_DOUBLE_EQ(m.wire_latency(0, 7), cfg.latency);  // wraps around
 }
 
+TEST(Machine, SelfMessagesAreCountedByTag) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(0, 42, 7);  // self round-trip: legal but counted
+      EXPECT_EQ(ctx.recv<int>(0, 42), 7);
+    }
+  });
+  EXPECT_EQ(m.stats().self_msgs(42), 1u);
+  EXPECT_EQ(m.stats().self_msgs(43), 0u);
+  EXPECT_EQ(m.stats().self_msgs_total(), 1u);
+}
+
+TEST(Machine, ContentionSerializesEjectionLink) {
+  // Two senders, one receiver, both messages timestamped ~t=0.  Without
+  // contention the wire transfers overlap; with it the second message
+  // queues behind the first on the receiver's ejection link for its full
+  // byte time.
+  constexpr int kBytes = 1000 * 8;
+  auto run = [](bool contention) {
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.topology = Topology::kComplete;
+    cfg.link_contention = contention;
+    Machine m(3, cfg);
+    m.run([](Context& ctx) {
+      std::vector<double> v(1000, 1.0);
+      if (ctx.rank() > 0) {
+        ctx.send_span<double>(0, 1, v);
+      } else {
+        (void)ctx.recv_vec<double>(1, 1);
+        (void)ctx.recv_vec<double>(2, 1);
+      }
+    });
+    return m;
+  };
+
+  MachineConfig cfg;
+  const Machine& off = run(false);
+  const Machine& on = run(true);
+  const double wire = kBytes * cfg.byte_time;
+  // Receiver finish times: overlapped transfers pay one wire time and both
+  // recv overheads; serialized transfers pay two wire times, with the
+  // second recv's overhead the only one still visible past the drain.
+  const double base = cfg.send_overhead + cfg.latency;
+  EXPECT_NEAR(off.stats().clocks[0], base + wire + 2.0 * cfg.recv_overhead,
+              1e-9);
+  EXPECT_NEAR(on.stats().clocks[0], base + 2.0 * wire + cfg.recv_overhead,
+              1e-9);
+  EXPECT_DOUBLE_EQ(off.stats().link_wait_time(), 0.0);
+  EXPECT_NEAR(on.stats().link_wait_time(), wire, 1e-9);
+  EXPECT_EQ(on.stats().contended_msgs(), 1u);
+}
+
+TEST(Machine, ContentionSerializesInjectionLink) {
+  // One sender, two receivers: the second message cannot enter the network
+  // until the first clears the sender's injection link.
+  auto send_times = [](bool contention) {
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.topology = Topology::kComplete;
+    cfg.link_contention = contention;
+    Machine m(3, cfg);
+    m.run([](Context& ctx) {
+      std::vector<double> v(500, 2.0);
+      if (ctx.rank() == 0) {
+        ctx.send_span<double>(1, 1, v);
+        ctx.send_span<double>(2, 1, v);
+      } else {
+        (void)ctx.recv_vec<double>(0, 1);
+      }
+    });
+    return std::pair{m.stats().clocks[1], m.stats().clocks[2]};
+  };
+  MachineConfig cfg;
+  const double wire = 500 * 8 * cfg.byte_time;
+  const auto [r1_off, r2_off] = send_times(false);
+  const auto [r1_on, r2_on] = send_times(true);
+  // Without contention the two deliveries differ only by one send
+  // overhead; with it the second also waits out the first's wire time.
+  EXPECT_NEAR(r2_off - r1_off, cfg.send_overhead, 1e-9);
+  EXPECT_NEAR(r2_on - r1_on, wire, 1e-9);
+  EXPECT_GT(r2_on, r2_off);
+  EXPECT_NEAR(r1_on, r1_off, 1e-12);  // first message pays nothing
+}
+
+TEST(Machine, ContentionOffMatchesLegacyCostModel) {
+  // link_contention=false must reproduce the original arrival formula
+  // exactly — clocks included, not just results.
+  auto makespan = [](bool contention) {
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.link_contention = contention;
+    Machine m(4, cfg);
+    m.run([](Context& ctx) {
+      const int next = (ctx.rank() + 1) % 4;
+      const int prev = (ctx.rank() + 3) % 4;
+      std::vector<double> v(64, 1.0);
+      ctx.send_span<double>(next, 5, v);
+      (void)ctx.recv_vec<double>(prev, 5);
+    });
+    return m.stats().max_clock();
+  };
+  // A ring shift is already contention-free (one message per port), so the
+  // clocks agree to the last bit.
+  EXPECT_DOUBLE_EQ(makespan(false), makespan(true));
+}
+
+TEST(Machine, ResetStatsClearsLinkClocks) {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  cfg.link_contention = true;
+  Machine m(2, cfg);
+  m.run([](Context& ctx) {
+    std::vector<double> v(100, 1.0);
+    if (ctx.rank() == 0) {
+      ctx.send_span<double>(1, 1, v);
+      ctx.send_span<double>(1, 2, v);
+    } else {
+      (void)ctx.recv_vec<double>(0, 1);
+      (void)ctx.recv_vec<double>(0, 2);
+    }
+  });
+  EXPECT_GT(m.stats().contended_msgs(), 0u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().contended_msgs(), 0u);
+  EXPECT_DOUBLE_EQ(m.stats().link_wait_time(), 0.0);
+  // Port clocks restart at zero: a fresh run sees no leftover busy time.
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, 1, 1);
+    } else {
+      (void)ctx.recv<int>(0, 1);
+    }
+  });
+  EXPECT_EQ(m.stats().contended_msgs(), 0u);
+}
+
 TEST(Machine, CausalityNoArrivalBeforeSendPlusWire) {
   // Random traffic pattern; every receiver's clock after a recv must be at
   // least the matching send time plus the wire terms.

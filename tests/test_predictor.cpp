@@ -8,6 +8,7 @@
 #include "kernels/tri.hpp"
 #include "machine/context.hpp"
 #include "machine/measure.hpp"
+#include "runtime/redistribute.hpp"
 #include "solvers/jacobi.hpp"
 
 namespace kali {
@@ -123,6 +124,79 @@ TEST(Predictor, ScalesWithProblemSize) {
 TEST(Predictor, NonPowerOfTwoProcsThrows) {
   Predictor pr(quiet_config(), 6);
   EXPECT_THROW((void)pr.tri_solve(128, 6), Error);
+}
+
+// Simulated makespan of the fft2-style transpose redistribution (every
+// rank pair exchanges one slab) on p ranks, n x n doubles.
+double sim_transpose(int n, int p, bool contention, IssueOrder order) {
+  MachineConfig cfg = quiet_config();
+  cfg.link_contention = contention;
+  Machine m(p, cfg);
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    DistArray2<double> rows(ctx, pv, {n, n},
+                            {DimDist::block_dist(), DimDist::star()});
+    DistArray2<double> cols(ctx, pv, {n, n},
+                            {DimDist::star(), DimDist::block_dist()});
+    rows.fill([](std::array<int, 2> g) { return 1.0 * g[0] + g[1]; });
+    redistribute(ctx, rows, cols, order);
+  });
+  return m.stats().max_clock();
+}
+
+TEST(Predictor, ScheduledAllToAllTracksSimulator) {
+  // Validate the contention-aware closed form against the simulator for
+  // the transpose shape, with and without link contention.  The estimate
+  // covers wire + overheads; pack/unpack compute (two flops per element)
+  // is added here, as the header prescribes.
+  const int n = 256, p = 8;
+  MachineConfig cfg = quiet_config();
+  Predictor pr(cfg, p);
+  const double slab_bytes = 8.0 * (n / p) * (n / p);
+  const double packing =
+      2.0 * (n / p) * static_cast<double>(n) * cfg.flop_time;
+  for (bool contention : {false, true}) {
+    SCOPED_TRACE(contention ? "contention" : "no contention");
+    const double pred = pr.all_to_all(p, slab_bytes, contention) + packing;
+    const double sim =
+        sim_transpose(n, p, contention, IssueOrder::kRoundSchedule);
+    EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+        << "pred=" << pred << " sim=" << sim;
+  }
+}
+
+TEST(Predictor, NaiveAllToAllTracksSimulatorUnderContention) {
+  const int n = 256, p = 8;
+  MachineConfig cfg = quiet_config();
+  Predictor pr(cfg, p);
+  const double slab_bytes = 8.0 * (n / p) * (n / p);
+  const double packing =
+      2.0 * (n / p) * static_cast<double>(n) * cfg.flop_time;
+  const double pred = pr.all_to_all_naive(p, slab_bytes) + packing;
+  const double sim = sim_transpose(n, p, true, IssueOrder::kPeerOrder);
+  EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+      << "pred=" << pred << " sim=" << sim;
+}
+
+TEST(Predictor, RanksScheduleAgainstNaiveLikeSimulation) {
+  // The tuning question the predictor must answer: under contention the
+  // round schedule beats naive issue order, and by roughly the simulated
+  // margin; without contention the schedule is free.
+  const int n = 256, p = 8;
+  Predictor pr(quiet_config(), p);
+  const double slab_bytes = 8.0 * (n / p) * (n / p);
+  const double pred_sched = pr.all_to_all(p, slab_bytes, true);
+  const double pred_naive = pr.all_to_all_naive(p, slab_bytes);
+  EXPECT_LT(pred_sched, pred_naive);
+  const double sim_sched =
+      sim_transpose(n, p, true, IssueOrder::kRoundSchedule);
+  const double sim_naive = sim_transpose(n, p, true, IssueOrder::kPeerOrder);
+  EXPECT_LT(sim_sched, sim_naive);
+  // Predicted and simulated speedups agree within a third.
+  const double pred_ratio = pred_naive / pred_sched;
+  const double sim_ratio = sim_naive / sim_sched;
+  EXPECT_LT(std::abs(pred_ratio - sim_ratio) / sim_ratio, 0.35)
+      << "pred_ratio=" << pred_ratio << " sim_ratio=" << sim_ratio;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "machine/context.hpp"
@@ -189,8 +190,9 @@ TEST(Redistribute, OvershootRanksOwnNothing) {
 
 TEST(Redistribute, BoxPathSendsOnlyIntersectingPairs) {
   // Identity redistribution between identical (block, block) layouts: the
-  // only intersecting pair per rank is itself — 4 messages total, where the
-  // reference path floods all 16 pairs.
+  // only intersecting pair per rank is itself, and self-overlaps are local
+  // copies — zero messages, where the reference path still floods all 12
+  // non-self pairs (its own self round-trips are also eliminated).
   Machine m(4, quiet_config());
   m.run([](Context& ctx) {
     ProcView pv = ProcView::grid2(2, 2);
@@ -200,8 +202,11 @@ TEST(Redistribute, BoxPathSendsOnlyIntersectingPairs) {
                          {DimDist::block_dist(), DimDist::block_dist()});
     a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
     redistribute(ctx, a, b);
+    b.for_each_owned([&](std::array<int, 2> g) {
+      EXPECT_DOUBLE_EQ(b.at(g), tag2(g[0], g[1]));
+    });
   });
-  EXPECT_EQ(m.stats().totals().msgs_sent, 4u);
+  EXPECT_EQ(m.stats().totals().msgs_sent, 0u);
 
   Machine ref(4, quiet_config());
   ref.run([](Context& ctx) {
@@ -212,8 +217,116 @@ TEST(Redistribute, BoxPathSendsOnlyIntersectingPairs) {
                          {DimDist::block_dist(), DimDist::block_dist()});
     a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
     redistribute_reference(ctx, a, b);
+    b.for_each_owned([&](std::array<int, 2> g) {
+      EXPECT_DOUBLE_EQ(b.at(g), tag2(g[0], g[1]));
+    });
   });
-  EXPECT_EQ(ref.stats().totals().msgs_sent, 16u);
+  EXPECT_EQ(ref.stats().totals().msgs_sent, 12u);
+}
+
+TEST(Redistribute, NoSelfMessagesOnAnyPath) {
+  // The headline bugfix: no path may push a rank's self-overlap through
+  // the mailbox — box, general (binning), and reference alike.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    {  // box path, transpose: self slab on the diagonal
+      DistArray2<double> rows(ctx, pv, {8, 8},
+                              {DimDist::block_dist(), DimDist::star()});
+      DistArray2<double> cols(ctx, pv, {8, 8},
+                              {DimDist::star(), DimDist::block_dist()});
+      rows.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+      redistribute(ctx, rows, cols);
+    }
+    {  // general path: every rank keeps some elements
+      DistArray1<double> a(ctx, pv, {32}, {DimDist::block_dist()});
+      DistArray1<double> b(ctx, pv, {32}, {DimDist::block_cyclic(2)});
+      a.fill([](std::array<int, 1> g) { return 1.0 * g[0]; });
+      redistribute(ctx, a, b);
+      DistArray1<double> c(ctx, pv, {32}, {DimDist::cyclic()});
+      redistribute_reference(ctx, b, c);
+    }
+  });
+  EXPECT_EQ(m.stats().self_msgs(kTagRedistData), 0u);
+  EXPECT_EQ(m.stats().self_msgs_total(), 0u);
+}
+
+TEST(Redistribute, ScheduledAndPeerOrderProduceIdenticalContents) {
+  // The round schedule only permutes issue order; array contents must be
+  // exactly what naive peer order produces, on both protocol paths.
+  struct Case {
+    std::string name;
+    DimDist sd, dd;
+  };
+  const std::vector<Case> cases = {
+      {"box", DimDist::block_dist(), DimDist::block_dist()},
+      {"general", DimDist::cyclic(), DimDist::block_cyclic(3)},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (int p : {3, 4, 5, 8}) {
+      SCOPED_TRACE("p=" + std::to_string(p));
+      Machine m(p, quiet_config());
+      m.run([&](Context& ctx) {
+        ProcView pv = ProcView::grid1(p);
+        DistArray1<double> src(ctx, pv, {29}, {c.sd});
+        DistArray1<double> sched(ctx, pv, {29}, {c.dd});
+        DistArray1<double> naive(ctx, pv, {29}, {c.dd});
+        src.fill([](std::array<int, 1> g) { return 0.25 * g[0] - 2.0; });
+        redistribute(ctx, src, sched, IssueOrder::kRoundSchedule);
+        redistribute(ctx, src, naive, IssueOrder::kPeerOrder);
+        sched.for_each_owned([&](std::array<int, 1> g) {
+          EXPECT_DOUBLE_EQ(sched.at(g), naive.at(g));
+          EXPECT_DOUBLE_EQ(sched.at(g), 0.25 * g[0] - 2.0);
+        });
+      });
+    }
+  }
+}
+
+TEST(Redistribute, ContentionOnlyChangesClocks) {
+  // Same transpose with link contention off and on: identical contents,
+  // message counts, and wire bytes — only clocks (and the link-wait
+  // counters) move, and never backwards.
+  auto run_transpose = [](bool contention, IssueOrder order) {
+    MachineConfig cfg = quiet_config();
+    cfg.link_contention = contention;
+    Machine m(8, cfg);
+    std::vector<double> gathered;
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid1(8);
+      DistArray2<double> rows(ctx, pv, {16, 16},
+                              {DimDist::block_dist(), DimDist::star()});
+      DistArray2<double> cols(ctx, pv, {16, 16},
+                              {DimDist::star(), DimDist::block_dist()});
+      rows.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+      redistribute(ctx, rows, cols, order);
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < 16; ++i) {
+          for (int j = cols.own_lower(1); j <= cols.own_upper(1); ++j) {
+            gathered.push_back(cols(i, j));
+          }
+        }
+      }
+    });
+    return std::make_tuple(gathered, m.stats());
+  };
+
+  const auto [vals_off, st_off] = run_transpose(false, IssueOrder::kRoundSchedule);
+  const auto [vals_on, st_on] = run_transpose(true, IssueOrder::kRoundSchedule);
+  EXPECT_EQ(vals_off, vals_on);  // bit-identical results
+  EXPECT_EQ(st_off.totals().msgs_sent, st_on.totals().msgs_sent);
+  EXPECT_EQ(st_off.totals().bytes_sent, st_on.totals().bytes_sent);
+  EXPECT_DOUBLE_EQ(st_off.link_wait_time(), 0.0);
+  EXPECT_EQ(st_off.contended_msgs(), 0u);
+  EXPECT_GE(st_on.max_clock(), st_off.max_clock());
+
+  // Under contention the round schedule must not lose to naive issue
+  // order on the modeled clock.
+  const auto [vals_naive, st_naive] = run_transpose(true, IssueOrder::kPeerOrder);
+  EXPECT_EQ(vals_naive, vals_on);
+  EXPECT_LE(st_on.max_clock(), st_naive.max_clock());
+  EXPECT_GT(st_naive.contended_msgs(), 0u);
 }
 
 TEST(Redistribute, PropertyMatchesReferenceAcrossDistributions1D) {

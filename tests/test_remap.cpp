@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "machine/context.hpp"
 
 namespace kali {
@@ -106,6 +109,159 @@ TEST(Remap, CrossDistributionTransfer) {
       }
     }
   });
+}
+
+TEST(Remap, PropertyBoxPathMatchesBinnedOracle1D) {
+  // Differential test: the box fast path must reproduce the owner-binning
+  // oracle element for element across strides, offsets, and rank counts
+  // (misaligned blocks, blocks skipped entirely by wide strides, ...).
+  struct Shape {
+    int s_stride, s_off, d_stride, d_off, count, ns, nd;
+  };
+  const std::vector<Shape> shapes = {
+      {2, 0, 1, 0, 9, 17, 9},    // restriction
+      {1, 0, 2, 0, 5, 5, 9},     // interpolation
+      {2, 2, 3, 1, 3, 12, 12},   // offsets
+      {3, 1, 4, 2, 4, 14, 17},   // wide strides skip whole blocks
+      {1, 0, 1, 0, 13, 13, 13},  // aligned identity
+      {5, 0, 1, 3, 3, 11, 7},    // stride larger than most blocks
+  };
+  for (int p : {2, 3, 4, 5}) {
+    for (std::size_t si = 0; si < shapes.size(); ++si) {
+      const Shape& s = shapes[si];
+      SCOPED_TRACE("p=" + std::to_string(p) + " shape=" + std::to_string(si));
+      Machine m(p, quiet_config());
+      m.run([&](Context& ctx) {
+        ProcView pv = ProcView::grid1(p);
+        DistArray1<double> src(ctx, pv, {s.ns}, {DimDist::block_dist()});
+        DistArray1<double> fast(ctx, pv, {s.nd}, {DimDist::block_dist()});
+        DistArray1<double> oracle(ctx, pv, {s.nd}, {DimDist::block_dist()});
+        src.fill([](std::array<int, 1> g) { return 7.0 * g[0] + 0.5; });
+        fast.fill_value(-9.0);
+        oracle.fill_value(-9.0);
+        copy_strided_dim(ctx, src, fast, 0, s.s_stride, s.s_off, s.d_stride,
+                         s.d_off, s.count);
+        copy_strided_dim_binned(ctx, src, oracle, 0, s.s_stride, s.s_off,
+                                s.d_stride, s.d_off, s.count);
+        fast.for_each_owned([&](std::array<int, 1> g) {
+          EXPECT_DOUBLE_EQ(fast.at(g), oracle.at(g)) << "index " << g[0];
+        });
+      });
+      EXPECT_EQ(m.stats().self_msgs(kTagRemap), 0u);
+    }
+  }
+}
+
+TEST(Remap, PropertyBoxPathMatchesBinnedOracle2D) {
+  // 2-D with the strided dim distributed, star, or block on either side —
+  // including layouts where the strided dim is the distributed one.
+  struct Layout {
+    std::string name;
+    DistArray2<double>::Dists dists;
+  };
+  const std::vector<Layout> layouts = {
+      {"star_block", {DimDist::star(), DimDist::block_dist()}},
+      {"block_star", {DimDist::block_dist(), DimDist::star()}},
+  };
+  for (const auto& sl : layouts) {
+    for (const auto& dl : layouts) {
+      SCOPED_TRACE(sl.name + " -> " + dl.name);
+      Machine m(4, quiet_config());
+      m.run([&](Context& ctx) {
+        ProcView pv = ProcView::grid1(4);
+        DistArray2<double> src(ctx, pv, {5, 17}, sl.dists);
+        DistArray2<double> fast(ctx, pv, {5, 9}, dl.dists);
+        DistArray2<double> oracle(ctx, pv, {5, 9}, dl.dists);
+        src.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+        fast.fill_value(-1.0);
+        oracle.fill_value(-1.0);
+        copy_strided_dim(ctx, src, fast, 1, 2, 0, 1, 0, 9);
+        copy_strided_dim_binned(ctx, src, oracle, 1, 2, 0, 1, 0, 9);
+        fast.for_each_owned([&](std::array<int, 2> g) {
+          EXPECT_DOUBLE_EQ(fast.at(g), oracle.at(g));
+          EXPECT_DOUBLE_EQ(fast.at(g), tag2(g[0], 2 * g[1]));
+        });
+      });
+      EXPECT_EQ(m.stats().self_msgs(kTagRemap), 0u);
+    }
+  }
+}
+
+TEST(Remap, CyclicLayoutsFallBackToBinning) {
+  // Any cyclic dim routes through the binning path; results must still be
+  // exact and free of self-messages.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> src(ctx, pv, {21}, {DimDist::cyclic()});
+    DistArray1<double> dst(ctx, pv, {11}, {DimDist::block_dist()});
+    src.fill([](std::array<int, 1> g) { return 2.0 * g[0]; });
+    copy_strided_dim(ctx, src, dst, 0, 2, 0, 1, 0, 11);
+    dst.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(dst.at(g), 4.0 * g[0]);
+    });
+  });
+  EXPECT_EQ(m.stats().self_msgs(kTagRemap), 0u);
+}
+
+TEST(Remap, AlignedIdentityCopySendsNoMessages) {
+  // Identical layout, stride 1, offset 0: every element's source and
+  // destination owner coincide — the whole copy must stay off the network.
+  Machine m(4, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(4);
+    DistArray1<double> src(ctx, pv, {16}, {DimDist::block_dist()});
+    DistArray1<double> dst(ctx, pv, {16}, {DimDist::block_dist()});
+    src.fill([](std::array<int, 1> g) { return 3.0 * g[0]; });
+    copy_strided_dim(ctx, src, dst, 0, 1, 0, 1, 0, 16);
+    dst.for_each_owned([&](std::array<int, 1> g) {
+      EXPECT_DOUBLE_EQ(dst.at(g), 3.0 * g[0]);
+    });
+  });
+  EXPECT_EQ(m.stats().totals().msgs_sent, 0u);
+}
+
+TEST(Remap, ScheduledAndPeerOrderProduceIdenticalContents) {
+  for (int p : {3, 4, 5}) {
+    SCOPED_TRACE("p=" + std::to_string(p));
+    Machine m(p, quiet_config());
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid1(p);
+      DistArray1<double> src(ctx, pv, {23}, {DimDist::block_dist()});
+      DistArray1<double> sched(ctx, pv, {23}, {DimDist::block_dist()});
+      DistArray1<double> naive(ctx, pv, {23}, {DimDist::block_dist()});
+      src.fill([](std::array<int, 1> g) { return 1.5 * g[0]; });
+      sched.fill_value(0.0);
+      naive.fill_value(0.0);
+      copy_strided_dim(ctx, src, sched, 0, 2, 1, 2, 0, 11,
+                       IssueOrder::kRoundSchedule);
+      copy_strided_dim(ctx, src, naive, 0, 2, 1, 2, 0, 11,
+                       IssueOrder::kPeerOrder);
+      sched.for_each_owned([&](std::array<int, 1> g) {
+        EXPECT_DOUBLE_EQ(sched.at(g), naive.at(g));
+      });
+    });
+  }
+}
+
+TEST(Remap, ZeroStrideThrows) {
+  // Both entry points validate arguments — the binned oracle included.
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()});
+    DistArray1<double> b(ctx, pv, {8}, {DimDist::block_dist()});
+    copy_strided_dim(ctx, a, b, 0, 0, 0, 1, 0, 4);
+  }),
+               Error);
+  Machine m2(2, quiet_config());
+  EXPECT_THROW(m2.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(2);
+    DistArray1<double> a(ctx, pv, {8}, {DimDist::block_dist()});
+    DistArray1<double> b(ctx, pv, {8}, {DimDist::block_dist()});
+    copy_strided_dim_binned(ctx, a, b, 0, 0, 0, 1, 0, 4);
+  }),
+               Error);
 }
 
 TEST(Remap, ExtentMismatchOffDimThrows) {

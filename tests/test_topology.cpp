@@ -12,6 +12,22 @@ TEST(Topology, CompleteIsOneHop) {
   EXPECT_EQ(hop_count(Topology::kComplete, 8, 3, 3), 0);
 }
 
+TEST(Topology, DiameterIsMaxPairwiseHopCount) {
+  for (Topology t : {Topology::kComplete, Topology::kRing, Topology::kMesh2D,
+                     Topology::kHypercube}) {
+    for (int p : {1, 2, 3, 4, 6, 8, 9, 16}) {
+      int widest = 0;
+      for (int a = 0; a < p; ++a) {
+        for (int b = 0; b < p; ++b) {
+          widest = std::max(widest, hop_count(t, p, a, b));
+        }
+      }
+      EXPECT_EQ(diameter(t, p), widest)
+          << "topology " << static_cast<int>(t) << " p=" << p;
+    }
+  }
+}
+
 TEST(Topology, RingUsesCyclicDistance) {
   EXPECT_EQ(hop_count(Topology::kRing, 8, 0, 1), 1);
   EXPECT_EQ(hop_count(Topology::kRing, 8, 0, 7), 1);  // wraps
