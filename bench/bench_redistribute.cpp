@@ -1,17 +1,21 @@
 // E10 — redistribution engine: analytic slab intersection vs the original
-// all-pairs {index, value} packet protocol, plus the link-contention sweep:
+// all-pairs {index, value} packet protocol, plus the link-contention sweeps:
 // round-structured schedule vs naive per-peer issue order.
 //
 // Measures, on the modeled 1989 machine, the message count, wire bytes, and
 // simulated makespan of redistribute() against redistribute_reference() for
 // transpose-style and reshape-style redistributions (the communication of
 // the distributed FFT and the ADI direction switch) plus a general-path
-// cyclic case.  Each case is then re-run with MachineConfig::link_contention
-// enabled, once issuing through the round schedule and once in naive peer
-// order — the modeled-time gap is what the schedule buys on serialized
-// links.  `--json` emits the same numbers as a JSON document — the format
-// consumed by the BENCH_*.json perf-trajectory files and the CI Release
-// perf job.
+// cyclic case.  Each case is then re-run under contention, once issuing
+// through the round schedule and once in naive peer order — the
+// modeled-time gap is what the schedule buys on serialized links.  Two
+// contention sweeps are recorded: the single-port model
+// (LinkContention::kPorts, hypercube) and the per-hop store-and-forward
+// model (LinkContention::kStoreForward) on a 2-D mesh, where naive issue
+// order oversubscribes the bisection edges toward each destination in turn
+// and the per-edge queueing shows up as edge_wait_seconds / max_edge_load.
+// `--json` emits the same numbers as a JSON document — the format consumed
+// by the BENCH_*.json perf-trajectory files and the CI Release perf job.
 //
 // Element type is float: the reference packet {int64 idx, float val} pads
 // to 16 bytes, so the raw-value slab protocol moves 4x fewer wire bytes.
@@ -31,6 +35,8 @@ struct RunStats {
   std::uint64_t bytes = 0;
   double seconds = 0.0;
   double link_wait = 0.0;
+  double edge_wait = 0.0;
+  std::uint64_t max_edge_load = 0;
   std::uint64_t self_msgs = 0;
 };
 
@@ -38,8 +44,9 @@ enum class Proto { kFast, kReference };
 
 struct RunMode {
   Proto proto = Proto::kFast;
-  bool contention = false;
+  LinkContention contention = LinkContention::kNone;
   IssueOrder order = IssueOrder::kRoundSchedule;
+  Topology topology = Topology::kHypercube;
 };
 
 struct CaseResult {
@@ -47,10 +54,12 @@ struct CaseResult {
   std::string path;  // "box" or "general"
   int nprocs = 0;
   std::vector<int> extents;
-  RunStats fast;        // no contention, round schedule
-  RunStats ref;         // no contention, reference protocol
-  RunStats sched;       // contention, round schedule
-  RunStats naive;       // contention, naive peer order
+  RunStats fast;      // no contention, round schedule
+  RunStats ref;       // no contention, reference protocol
+  RunStats sched;     // port contention, round schedule
+  RunStats naive;     // port contention, naive peer order
+  RunStats sf_sched;  // store-and-forward on a mesh, round schedule
+  RunStats sf_naive;  // store-and-forward on a mesh, naive peer order
 };
 
 using Dists1 = DistArray1<float>::Dists;
@@ -59,13 +68,15 @@ using Dists2 = DistArray2<float>::Dists;
 RunStats measure(Machine& m) {
   const MachineStats st = m.stats();
   const ProcCounters tot = st.totals();
-  return {tot.msgs_sent, tot.bytes_sent, st.max_clock(), st.link_wait_time(),
+  return {tot.msgs_sent,        tot.bytes_sent,     st.max_clock(),
+          st.link_wait_time(),  st.edge_wait_time(), st.max_edge_load(),
           st.self_msgs_total()};
 }
 
 MachineConfig config_for(const RunMode& mode) {
   MachineConfig cfg = bench::config_1989();
   cfg.link_contention = mode.contention;
+  cfg.topology = mode.topology;
   return cfg;
 }
 
@@ -110,6 +121,8 @@ void print_run(std::ostream& os, const char* key, const RunStats& r,
   os << indent << "\"" << key << "\": {\"msgs\": " << r.msgs
      << ", \"wire_bytes\": " << r.bytes << ", \"modeled_seconds\": " << r.seconds
      << ", \"link_wait_seconds\": " << r.link_wait
+     << ", \"edge_wait_seconds\": " << r.edge_wait
+     << ", \"max_edge_load\": " << r.max_edge_load
      << ", \"self_msgs\": " << r.self_msgs << "}";
 }
 
@@ -120,8 +133,9 @@ void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
         "2.5 MB/s links)\",\n"
      << "  \"elem_bytes\": 4,\n"
      << "  \"reference\": \"all-pairs {int64 idx, float val} packet flood\",\n"
-     << "  \"contention_model\": \"single-port injection/ejection links "
-        "(MachineConfig::link_contention)\",\n"
+     << "  \"contention_models\": \"ports = single-port injection/ejection "
+        "links on the hypercube; store_forward = per-edge store-and-forward "
+        "queueing on a 2-D mesh (LinkContention)\",\n"
      << "  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& c = results[i];
@@ -147,6 +161,14 @@ void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
     os << ",\n"
        << "      \"schedule_speedup\": " << ratio(c.naive.seconds, c.sched.seconds)
        << ", \"contention_slowdown\": " << ratio(c.sched.seconds, c.fast.seconds)
+       << "\n     },\n"
+       << "     \"store_forward\": {\"topology\": \"mesh2d\",\n";
+    print_run(os, "scheduled", c.sf_sched, "      ");
+    os << ",\n";
+    print_run(os, "naive_order", c.sf_naive, "      ");
+    os << ",\n"
+       << "      \"schedule_speedup\": "
+       << ratio(c.sf_naive.seconds, c.sf_sched.seconds)
        << "\n     }}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -163,15 +185,29 @@ int main(int argc, char** argv) {
   const int n = 1024;
   std::vector<CaseResult> results;
 
-  const RunMode kFast{Proto::kFast, false, IssueOrder::kRoundSchedule};
-  const RunMode kRef{Proto::kReference, false, IssueOrder::kRoundSchedule};
-  const RunMode kSched{Proto::kFast, true, IssueOrder::kRoundSchedule};
-  const RunMode kNaive{Proto::kFast, true, IssueOrder::kPeerOrder};
+  const RunMode kFast{Proto::kFast, LinkContention::kNone,
+                      IssueOrder::kRoundSchedule, Topology::kHypercube};
+  const RunMode kRef{Proto::kReference, LinkContention::kNone,
+                     IssueOrder::kRoundSchedule, Topology::kHypercube};
+  const RunMode kSched{Proto::kFast, LinkContention::kPorts,
+                       IssueOrder::kRoundSchedule, Topology::kHypercube};
+  const RunMode kNaive{Proto::kFast, LinkContention::kPorts,
+                       IssueOrder::kPeerOrder, Topology::kHypercube};
+  // Store-and-forward sweep on the 2-D mesh, where X-Y routing funnels
+  // whole waves of naive-order messages through single bisection edges.
+  const RunMode kSfSched{Proto::kFast, LinkContention::kStoreForward,
+                         IssueOrder::kRoundSchedule, Topology::kMesh2D};
+  const RunMode kSfNaive{Proto::kFast, LinkContention::kStoreForward,
+                         IssueOrder::kPeerOrder, Topology::kMesh2D};
 
   {
     // The fft2 transpose: (block, *) -> (*, block).  Every off-diagonal
     // rank pair intersects in a 64x64 slab; the diagonal is a local copy.
-    CaseResult c{"transpose_rows_to_cols", "box", p, {n, n}, {}, {}, {}, {}};
+    CaseResult c;
+    c.name = "transpose_rows_to_cols";
+    c.path = "box";
+    c.nprocs = p;
+    c.extents = {n, n};
     const Dists2 rows{DimDist::block_dist(), DimDist::star()};
     const Dists2 cols{DimDist::star(), DimDist::block_dist()};
     const ProcView pv = ProcView::grid1(p);
@@ -179,12 +215,18 @@ int main(int argc, char** argv) {
     c.ref = run2(p, n, pv, rows, pv, cols, kRef);
     c.sched = run2(p, n, pv, rows, pv, cols, kSched);
     c.naive = run2(p, n, pv, rows, pv, cols, kNaive);
+    c.sf_sched = run2(p, n, pv, rows, pv, cols, kSfSched);
+    c.sf_naive = run2(p, n, pv, rows, pv, cols, kSfNaive);
     results.push_back(c);
   }
   {
     // Grid reshape (block, block) 4x4 -> 16x1: only 4 destination slabs
     // overlap each source quadrant, so the message flood shrinks 4x too.
-    CaseResult c{"grid_reshape_4x4_to_16x1", "box", p, {n, n}, {}, {}, {}, {}};
+    CaseResult c;
+    c.name = "grid_reshape_4x4_to_16x1";
+    c.path = "box";
+    c.nprocs = p;
+    c.extents = {n, n};
     const Dists2 bb{DimDist::block_dist(), DimDist::block_dist()};
     const ProcView spv = ProcView::grid2(4, 4);
     const ProcView dpv = ProcView::grid2(16, 1);
@@ -192,32 +234,45 @@ int main(int argc, char** argv) {
     c.ref = run2(p, n, spv, bb, dpv, bb, kRef);
     c.sched = run2(p, n, spv, bb, dpv, bb, kSched);
     c.naive = run2(p, n, spv, bb, dpv, bb, kNaive);
+    c.sf_sched = run2(p, n, spv, bb, dpv, bb, kSfSched);
+    c.sf_naive = run2(p, n, spv, bb, dpv, bb, kSfNaive);
     results.push_back(c);
   }
   {
     // Identity layout: the degenerate best case — every rank's slab is its
     // own, so the fast path sends nothing at all, while the reference
     // still floods the 240 non-self pairs.
-    CaseResult c{"identity_4x4", "box", p, {n, n}, {}, {}, {}, {}};
+    CaseResult c;
+    c.name = "identity_4x4";
+    c.path = "box";
+    c.nprocs = p;
+    c.extents = {n, n};
     const Dists2 bb{DimDist::block_dist(), DimDist::block_dist()};
     const ProcView pv = ProcView::grid2(4, 4);
     c.fast = run2(p, n, pv, bb, pv, bb, kFast);
     c.ref = run2(p, n, pv, bb, pv, bb, kRef);
     c.sched = run2(p, n, pv, bb, pv, bb, kSched);
     c.naive = run2(p, n, pv, bb, pv, bb, kNaive);
+    c.sf_sched = run2(p, n, pv, bb, pv, bb, kSfSched);
+    c.sf_naive = run2(p, n, pv, bb, pv, bb, kSfNaive);
     results.push_back(c);
   }
   {
     // General path: cyclic -> block-cyclic falls back to per-dim owner
     // binning (O(n + peers) instead of the reference's O(n * P) scan).
-    CaseResult c{"cyclic_to_block_cyclic4_1d", "general", p, {n * n},
-                 {}, {}, {}, {}};
+    CaseResult c;
+    c.name = "cyclic_to_block_cyclic4_1d";
+    c.path = "general";
+    c.nprocs = p;
+    c.extents = {n * n};
     const Dists1 sd{DimDist::cyclic()};
     const Dists1 dd{DimDist::block_cyclic(4)};
     c.fast = run1(p, n * n, sd, dd, kFast);
     c.ref = run1(p, n * n, sd, dd, kRef);
     c.sched = run1(p, n * n, sd, dd, kSched);
     c.naive = run1(p, n * n, sd, dd, kNaive);
+    c.sf_sched = run1(p, n * n, sd, dd, kSfSched);
+    c.sf_naive = run1(p, n * n, sd, dd, kSfNaive);
     results.push_back(c);
   }
 
@@ -252,6 +307,18 @@ int main(int argc, char** argv) {
                 std::to_string(c.sched.self_msgs)});
   }
   tc.print(std::cout);
+
+  std::cout << "\nstore-and-forward on a 2-D mesh (per-edge queueing):\n\n";
+  Table ts({"case", "scheduled s", "naive-order s", "schedule speedup",
+            "edge wait sched/naive", "max edge load sched/naive"});
+  for (const CaseResult& c : results) {
+    ts.add_row({c.name, fmt(c.sf_sched.seconds), fmt(c.sf_naive.seconds),
+                fmt(ratio(c.sf_naive.seconds, c.sf_sched.seconds), 2),
+                fmt(c.sf_sched.edge_wait) + " / " + fmt(c.sf_naive.edge_wait),
+                std::to_string(c.sf_sched.max_edge_load) + " / " +
+                    std::to_string(c.sf_naive.max_edge_load)});
+  }
+  ts.print(std::cout);
   std::cout << "\nthe slab protocol must send no empty and no self messages\n"
             << "and, for the float transpose, move >= 4x fewer wire bytes\n"
             << "than the reference's padded {int64, float} packets; under\n"

@@ -29,9 +29,14 @@ double sync_clocks(Context& ctx, const Group& g) {
   // A *measurement* barrier: every member's clock is set to the maximum of
   // the clocks at entry.  The synchronization traffic itself is excluded
   // from the model (clocks may be pulled back to the aligned value), so
-  // phases bracketed by sync_clocks are measured exactly.
+  // phases bracketed by sync_clocks are measured exactly.  That exclusion
+  // must cover link state too: the barrier's own allreduce messages (and
+  // any traffic before it) advanced this member's port clocks and edge
+  // ledgers, and leaving them advanced would leak busy time into the next
+  // measured phase under contention.
   const double aligned = allreduce_max(ctx, g, ctx.clock());
   ctx.proc().set_clock(aligned);
+  ctx.proc().clear_link_state();
   return aligned;
 }
 

@@ -17,6 +17,31 @@ enum class Topology {
   kHypercube,  ///< hop count = Hamming distance of ranks
 };
 
+/// How much of the interconnect serializes (the three-tier contention
+/// story).  Each tier changes *clocks only*: payload routing, message
+/// counts, and program results are bit-identical across all three.
+enum class LinkContention {
+  /// Links are infinitely parallel; message timing is the pure
+  /// alpha/beta/per-hop formula.  The pre-contention model, reproduced
+  /// bit-for-bit.
+  kNone,
+  /// Single-port (postal) model: the two directed links attaching each
+  /// node to the network (injection and ejection) carry one message at a
+  /// time, occupied for `byte_time` per payload byte, with busy-until
+  /// clocks kept per port in Processor.  Interior hops of the topology
+  /// still add `per_hop` latency but are cut-through, never serialized.
+  kPorts,
+  /// Store-and-forward: every directed edge of the configured topology
+  /// (the neighbor links route() traverses) is a serializable resource.
+  /// A message occupies each edge on its path for its full wire time
+  /// before the next hop begins, so an uncontended h-hop message costs
+  /// h wire times instead of one — the pre-wormhole 1989 machine — and
+  /// congested interior edges (mesh bisection, hypercube dimension links)
+  /// queue messages deterministically.  See context.hpp for the clock
+  /// algebra and the determinism design.
+  kStoreForward,
+};
+
 struct MachineConfig {
   // --- computation ---
   double flop_time = 1.0e-7;  ///< seconds per flop (10 MFLOPS)
@@ -28,20 +53,16 @@ struct MachineConfig {
   double per_hop = 10.0e-6;        ///< extra latency per additional hop
   double byte_time = 0.4e-6;       ///< beta: seconds per payload byte
 
-  // --- link contention (single-port / postal model) ---
-  /// When true, the two directed edges attaching each node to the network
-  /// (its injection link and its ejection link) serialize: a link carries
-  /// one message at a time, occupied for `byte_time` per payload byte, and
-  /// later messages queue behind a busy-until clock (kept per port in
-  /// Processor).  Intermediate hops of the configured topology still add
-  /// `per_hop` latency but are cut-through, not serialized — the standard
-  /// model under which round-structured all-to-all schedules (each round a
-  /// perfect matching, runtime/schedule.hpp) are optimal and naive per-peer
-  /// issue order creates ejection-port hot spots.  Off, links are
-  /// infinitely parallel and message timing is exactly the pre-contention
-  /// model: payloads, message counts, and results are identical either
-  /// way; only clocks (and the link-wait counters in MachineStats) change.
-  bool link_contention = false;
+  // --- link contention ---
+  /// Which parts of the interconnect serialize (see LinkContention).
+  /// kPorts is the standard model under which round-structured all-to-all
+  /// schedules (each round a perfect matching, runtime/schedule.hpp) are
+  /// optimal and naive per-peer issue order creates ejection-port hot
+  /// spots; kStoreForward extends the queueing to every interior topology
+  /// edge, where naive issue order additionally oversubscribes bisection
+  /// links.  Whatever the tier, payloads, message counts, and results are
+  /// identical; only clocks (and the wait counters in MachineStats) change.
+  LinkContention link_contention = LinkContention::kNone;
 
   Topology topology = Topology::kHypercube;
 

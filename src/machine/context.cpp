@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "machine/topology.hpp"
+
 namespace kali {
 
 void Context::compute(double flops) {
@@ -28,19 +30,48 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   m.src = rank();
   m.tag = tag;
   m.send_time = self_->clock();
+  m.seq = cnt.msgs_sent;
   m.payload.assign(data.begin(), data.end());
-  if (config().link_contention) {
-    // Single-port injection: the message enters the network only once the
-    // outgoing link is free, then occupies it for its full wire time.  The
-    // sender's CPU is released after the software overhead (DMA).
-    const double start = std::max(m.send_time, self_->out_link_free());
-    if (start > m.send_time) {
-      cnt.link_wait_time += start - m.send_time;
-      cnt.contended_msgs += 1;
+  const double wire =
+      static_cast<double>(m.payload.size()) * config().byte_time;
+  switch (config().link_contention) {
+    case LinkContention::kNone:
+      break;
+    case LinkContention::kPorts: {
+      // Single-port injection: the message enters the network only once
+      // the outgoing link is free, then occupies it for its full wire
+      // time.  The sender's CPU is released after the software overhead
+      // (DMA).
+      const double start = std::max(m.send_time, self_->out_link_free());
+      if (start > m.send_time) {
+        cnt.link_wait_time += start - m.send_time;
+        cnt.contended_msgs += 1;
+      }
+      m.send_time = start;
+      self_->set_out_link_free(start + wire);
+      break;
     }
-    m.send_time = start;
-    self_->set_out_link_free(
-        start + static_cast<double>(m.payload.size()) * config().byte_time);
+    case LinkContention::kStoreForward: {
+      // Multi-port injection: the first edge of the route — this node's
+      // link toward the first hop — is owned by the sending thread, so
+      // sends sharing a first hop serialize here.  Self-sends have no
+      // edges and stay pure software.
+      if (dst != rank()) {
+        const int n0 =
+            first_hop(config().topology, nprocs(), rank(), dst);
+        const std::int64_t e0 = edge_id(rank(), n0);
+        double& free_at = self_->out_edge_free()[e0];
+        const double start = std::max(m.send_time, free_at);
+        if (start > m.send_time) {
+          cnt.edge_wait_time += start - m.send_time;
+          cnt.contended_msgs += 1;
+        }
+        m.send_time = start;
+        free_at = start + wire;
+        cnt.edge_msgs[e0] += 1;
+      }
+      break;
+    }
   }
   cnt.msgs_sent += 1;
   cnt.bytes_sent += m.payload.size();
@@ -53,24 +84,59 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
 Message Context::recv_message(int src, int tag) {
   Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall);
   auto& cnt = self_->counters();
-  const double bytes_time =
+  const double wire =
       static_cast<double>(m.size_bytes()) * config().byte_time;
-  const double nominal = m.send_time + machine_->wire_latency(m.src, rank());
   double arrival;
-  if (config().link_contention) {
-    // Single-port ejection: the first byte can reach this node at `nominal`,
-    // but the incoming link carries one message at a time.  Contention is
-    // resolved in receive (program) order — deterministic because the
-    // ejection clock belongs to this thread alone.
-    const double start = std::max(nominal, self_->in_link_free());
-    if (start > nominal) {
-      cnt.link_wait_time += start - nominal;
-      cnt.contended_msgs += 1;
+  switch (config().link_contention) {
+    case LinkContention::kNone:
+      arrival = m.send_time + machine_->wire_latency(m.src, rank()) + wire;
+      break;
+    case LinkContention::kPorts: {
+      // Single-port ejection: the first byte can reach this node at
+      // `nominal`, but the incoming link carries one message at a time.
+      // Contention is resolved in receive (program) order — deterministic
+      // because the ejection clock belongs to this thread alone.
+      const double nominal =
+          m.send_time + machine_->wire_latency(m.src, rank());
+      const double start = std::max(nominal, self_->in_link_free());
+      if (start > nominal) {
+        cnt.link_wait_time += start - nominal;
+        cnt.contended_msgs += 1;
+      }
+      arrival = start + wire;
+      self_->set_in_link_free(arrival);
+      break;
     }
-    arrival = start + bytes_time;
-    self_->set_in_link_free(arrival);
-  } else {
-    arrival = nominal + bytes_time;
+    case LinkContention::kStoreForward: {
+      // Replay the route hop by hop: the sender already reserved the first
+      // edge (m.send_time is the post-queue injection start), and every
+      // later edge is resolved here against this receiver's ledger, in
+      // (send_time, src, seq) order.  Each hop stores the whole message
+      // before forwarding, so every edge costs a full wire time; interior
+      // forwarding adds per_hop.  Self-sends and neighbor messages have no
+      // later edges — the closed form below covers them without
+      // materializing the path.
+      double t = m.send_time + config().latency + wire;
+      if (machine_->hops(m.src, rank()) > 1) {
+        const std::vector<int> path = machine_->route(m.src, rank());
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+          t += config().per_hop;
+          const std::int64_t e = edge_id(path[i], path[i + 1]);
+          const double queued =
+              self_->reserve_edge(e, m.send_time, m.src, m.seq, t, wire);
+          if (queued > 0.0) {
+            cnt.edge_wait_time += queued;
+            cnt.contended_msgs += 1;
+          }
+          t += queued + wire;
+          cnt.edge_msgs[e] += 1;
+        }
+      }
+      arrival = t;
+      break;
+    }
+    default:
+      KALI_FAIL("unknown link contention model");
   }
   const double before = self_->clock();
   const double ready = std::max(before, arrival);

@@ -9,15 +9,35 @@
 // which makes the final per-processor clocks a causally consistent schedule
 // of the program on the modeled hardware, independent of host scheduling.
 //
-// With MachineConfig::link_contention the wire term additionally serializes
-// on each node's injection and ejection links (single-port model):
+// With LinkContention::kPorts the wire term additionally serializes on each
+// node's injection and ejection links (single-port model):
 //   send:  send_time = max(clock, out_link_free);
 //          out_link_free = send_time + bytes * byte_time
 //   recv:  start = max(send_time + latency_eff, in_link_free)
 //          arrival = start + bytes * byte_time;  in_link_free = arrival
 // Both port clocks are owned by their processor's thread, so contention
 // resolution stays deterministic (ejection conflicts resolve in receive
-// order).  Payload routing is unchanged — only clocks move.
+// order).
+//
+// With LinkContention::kStoreForward every directed edge of route(src, dst)
+// serializes instead, and each hop stores the whole message before
+// forwarding it (wire = bytes * byte_time):
+//   send:  send_time = max(clock, out_edge_free[first edge]);
+//          out_edge_free[first edge] = send_time + wire
+//   recv:  t = send_time + latency + wire            // first edge
+//          for each interior/final edge e:           // receiver's ledger
+//            t += per_hop;  t = max(t, busy(e)) + wire
+//   arrival = t
+// so an uncontended h-hop message costs latency + (h-1) per_hop +
+// h * wire.  busy(e) considers only ledger entries with a smaller
+// (send_time, src, seq) key, and the ledger is sharded per resolving
+// thread — the sender owns its first-hop edges, the receiver everything
+// after — so resolution never races host threads: repeated runs produce
+// bit-identical clocks.  The sharding is the model's approximation: edges
+// shared by messages converging on one receiver queue (tree saturation),
+// while messages to different receivers occupy independent copies of an
+// edge.  Whatever the tier, payload routing is unchanged — only clocks
+// move.
 #pragma once
 
 #include <cstring>

@@ -34,6 +34,10 @@ double Machine::wire_latency(int a, int b) const {
   return cfg_.latency + cfg_.per_hop * (h - 1);
 }
 
+std::vector<int> Machine::route(int a, int b) const {
+  return kali::route(cfg_.topology, size(), a, b);
+}
+
 void Machine::run(const std::function<void(Context&)>& program) {
   const int p = size();
   std::atomic<bool> failed{false};
@@ -74,9 +78,11 @@ MachineStats Machine::stats() const {
   MachineStats s;
   s.per_proc.reserve(procs_.size());
   s.clocks.reserve(procs_.size());
+  s.mailbox_peaks.reserve(procs_.size());
   for (const auto& p : procs_) {
     s.per_proc.push_back(p->counters());
     s.clocks.push_back(p->clock());
+    s.mailbox_peaks.push_back(p->mailbox().max_pending());
   }
   return s;
 }

@@ -35,8 +35,14 @@ class Machine {
   /// Hop count between two ranks under the configured topology.
   [[nodiscard]] int hops(int a, int b) const;
 
-  /// Effective one-message wire latency between two ranks.
+  /// Effective one-message cut-through wire latency between two ranks.
   [[nodiscard]] double wire_latency(int a, int b) const;
+
+  /// Deterministic node path a message follows from `a` to `b` under the
+  /// configured topology (see topology.hpp route()).  Both endpoints of a
+  /// transfer reconstruct the same path — the store-and-forward model's
+  /// edge occupancy is derived from it.
+  [[nodiscard]] std::vector<int> route(int a, int b) const;
 
   Processor& proc(int rank);
 

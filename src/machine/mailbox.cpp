@@ -1,5 +1,6 @@
 #include "machine/mailbox.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "support/check.hpp"
@@ -10,6 +11,7 @@ void Mailbox::push(Message m) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(std::move(m));
+    peak_pending_ = std::max(peak_pending_, queue_.size());
   }
   cv_.notify_all();
 }
@@ -65,6 +67,16 @@ void Mailbox::abort() {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
+}
+
+std::size_t Mailbox::max_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_pending_;
+}
+
+void Mailbox::reset_peak() {
+  std::lock_guard<std::mutex> lk(mu_);
+  peak_pending_ = 0;
 }
 
 }  // namespace kali

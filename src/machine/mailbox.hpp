@@ -33,12 +33,25 @@ class Mailbox {
   /// Number of queued (undelivered) messages.
   [[nodiscard]] std::size_t pending() const;
 
+  /// High-water mark of pending(): the peak in-flight buffering this
+  /// mailbox ever held.  Lockstep round execution (IssueOrder::kLockstep)
+  /// exists to bound this by a small constant instead of O(P) for dense
+  /// pairwise exchanges (see the kLockstep doc for the funnel-shaped
+  /// caveat).  The peak depends on host thread interleaving (unlike the
+  /// simulated clocks), so tests may only assert bounds on it, never
+  /// exact values.
+  [[nodiscard]] std::size_t max_pending() const;
+
+  /// Reset the high-water mark (used by Machine::reset_stats between runs).
+  void reset_peak();
+
  private:
   std::optional<Message> try_pop_locked(int src, int tag);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::size_t peak_pending_ = 0;
   bool aborted_ = false;
 };
 

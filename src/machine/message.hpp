@@ -50,12 +50,19 @@ inline constexpr int kTagRedistData = kRuntimeTagBase + 16;
 inline constexpr int kTagRemap = kRuntimeTagBase + 17;
 
 /// A message in flight.  `send_time` is the sender's simulated clock at the
-/// moment the message entered the network; the receiver uses it to advance
-/// its own clock causally (recv >= send + latency + bytes * byte_time).
+/// moment the message entered the network (post injection queueing when
+/// link contention is on); the receiver uses it to advance its own clock
+/// causally (recv >= send + latency + bytes * byte_time).  `seq` is the
+/// sender-local message sequence number: (send_time, src, seq) is the
+/// total order in which the store-and-forward model serializes messages on
+/// shared interior edges — a deterministic key, unlike arrival order.  The
+/// path itself is not carried: routing is dimension-ordered (topology.hpp
+/// route()), so the receiver reconstructs it from (src, dst) alone.
 struct Message {
   int src = -1;
   int tag = 0;
   double send_time = 0.0;
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 
   [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }

@@ -49,6 +49,36 @@ double MachineStats::link_wait_time() const {
   return t;
 }
 
+double MachineStats::edge_wait_time() const {
+  double t = 0.0;
+  for (const auto& c : per_proc) {
+    t += c.edge_wait_time;
+  }
+  return t;
+}
+
+std::uint64_t MachineStats::max_edge_load() const {
+  std::map<std::int64_t, std::uint64_t> merged;
+  for (const auto& c : per_proc) {
+    for (const auto& [edge, n] : c.edge_msgs) {
+      merged[edge] += n;
+    }
+  }
+  std::uint64_t m = 0;
+  for (const auto& [edge, n] : merged) {
+    m = std::max(m, n);
+  }
+  return m;
+}
+
+std::size_t MachineStats::max_mailbox_depth() const {
+  std::size_t m = 0;
+  for (std::size_t p : mailbox_peaks) {
+    m = std::max(m, p);
+  }
+  return m;
+}
+
 std::uint64_t MachineStats::contended_msgs() const {
   std::uint64_t n = 0;
   for (const auto& c : per_proc) {

@@ -10,6 +10,10 @@ namespace kali {
 struct MachineStats {
   std::vector<ProcCounters> per_proc;
   std::vector<double> clocks;  ///< final simulated clock per processor
+  /// Peak queued-message count of each processor's mailbox.  Unlike every
+  /// other field this reflects host interleaving, not simulated time —
+  /// assert bounds on it, never exact values.
+  std::vector<std::size_t> mailbox_peaks;
 
   /// Simulated makespan: the slowest processor's clock.
   [[nodiscard]] double max_clock() const;
@@ -31,12 +35,25 @@ struct MachineStats {
   /// Self-messages across all tags.
   [[nodiscard]] std::uint64_t self_msgs_total() const;
 
-  /// Total simulated time messages spent queued on busy links
-  /// (MachineConfig::link_contention); zero when contention is off.
+  /// Total simulated time messages spent queued on busy node ports
+  /// (LinkContention::kPorts); zero when contention is off.
   [[nodiscard]] double link_wait_time() const;
 
-  /// Messages that found an injection or ejection link busy.
+  /// Total simulated time messages spent queued on busy topology edges
+  /// (LinkContention::kStoreForward); zero in the other tiers.
+  [[nodiscard]] double edge_wait_time() const;
+
+  /// Busy-port/edge encounters across all messages.
   [[nodiscard]] std::uint64_t contended_msgs() const;
+
+  /// Heaviest store-and-forward load on any single directed topology edge:
+  /// the message count of the busiest edge, merged across processors.
+  /// Zero unless the store-and-forward tier ran.
+  [[nodiscard]] std::uint64_t max_edge_load() const;
+
+  /// Largest mailbox_peaks entry: the worst in-flight buffering any
+  /// processor needed.  Host-interleaving dependent (see mailbox_peaks).
+  [[nodiscard]] std::size_t max_mailbox_depth() const;
 };
 
 }  // namespace kali

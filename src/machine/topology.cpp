@@ -2,7 +2,6 @@
 
 #include <bit>
 #include <cmath>
-#include <cstdint>
 #include <cstdlib>
 
 #include "support/check.hpp"
@@ -16,6 +15,15 @@ int mesh_rows(int nprocs) {
     --r;
   }
   return r;
+}
+
+std::pair<int, int> mesh_coord(int nprocs, int rank) {
+  const int rows = mesh_rows(nprocs);
+  const int cols = nprocs / rows;
+  // mesh_rows always divides nprocs, so the grid is exact: every rank has a
+  // unique in-range coordinate and no fold/clamp is ever needed.
+  KALI_CHECK(rows * cols == nprocs, "mesh factorization must be exact");
+  return {rank / cols, rank % cols};
 }
 
 int diameter(Topology topo, int nprocs) {
@@ -55,22 +63,96 @@ int hop_count(Topology topo, int nprocs, int a, int b) {
       return std::min(d, nprocs - d);
     }
     case Topology::kMesh2D: {
-      const int rows = mesh_rows(nprocs);
-      const int cols = nprocs / rows;
-      // Ranks beyond rows*cols (when nprocs is prime-ish) fold onto the
-      // last row; hop counts remain well-defined.
-      auto coord = [&](int r) {
-        const int rr = std::min(r / cols, rows - 1);
-        const int cc = r - rr * cols;
-        return std::pair<int, int>(rr, cc);
-      };
-      const auto [ar, ac] = coord(a);
-      const auto [br, bc] = coord(b);
+      const auto [ar, ac] = mesh_coord(nprocs, a);
+      const auto [br, bc] = mesh_coord(nprocs, b);
       return std::abs(ar - br) + std::abs(ac - bc);
     }
     case Topology::kHypercube:
       return std::popcount(static_cast<std::uint32_t>(a) ^
                            static_cast<std::uint32_t>(b));
+  }
+  KALI_FAIL("unknown topology");
+}
+
+int first_hop(Topology topo, int nprocs, int a, int b) {
+  KALI_CHECK(a >= 0 && a < nprocs && b >= 0 && b < nprocs,
+             "rank out of range");
+  KALI_CHECK(a != b, "first_hop needs distinct ranks");
+  switch (topo) {
+    case Topology::kComplete:
+      return b;
+    case Topology::kRing: {
+      const int fwd = ((b - a) % nprocs + nprocs) % nprocs;
+      const int step = fwd <= nprocs - fwd ? 1 : nprocs - 1;
+      return (a + step) % nprocs;
+    }
+    case Topology::kMesh2D: {
+      const int cols = nprocs / mesh_rows(nprocs);
+      const auto [r, c] = mesh_coord(nprocs, a);
+      const auto [br, bc] = mesh_coord(nprocs, b);
+      if (c != bc) {
+        return r * cols + c + (bc > c ? 1 : -1);
+      }
+      return (r + (br > r ? 1 : -1)) * cols + c;
+    }
+    case Topology::kHypercube: {
+      const auto diff = static_cast<std::uint32_t>(a ^ b);
+      return a ^ static_cast<int>(diff & (~diff + 1u));  // lowest set bit
+    }
+  }
+  KALI_FAIL("unknown topology");
+}
+
+std::vector<int> route(Topology topo, int nprocs, int a, int b) {
+  KALI_CHECK(a >= 0 && a < nprocs && b >= 0 && b < nprocs,
+             "rank out of range");
+  std::vector<int> path{a};
+  if (a == b) {
+    return path;
+  }
+  switch (topo) {
+    case Topology::kComplete:
+      path.push_back(b);
+      return path;
+    case Topology::kRing: {
+      // Shorter arc; the tie at nprocs / 2 goes clockwise (increasing).
+      const int fwd = ((b - a) % nprocs + nprocs) % nprocs;
+      const int step = fwd <= nprocs - fwd ? 1 : nprocs - 1;
+      for (int v = a; v != b;) {
+        v = (v + step) % nprocs;
+        path.push_back(v);
+      }
+      return path;
+    }
+    case Topology::kMesh2D: {
+      // X-Y routing: correct the column first, then the row.
+      const int cols = nprocs / mesh_rows(nprocs);
+      auto [r, c] = mesh_coord(nprocs, a);
+      const auto [br, bc] = mesh_coord(nprocs, b);
+      while (c != bc) {
+        c += bc > c ? 1 : -1;
+        path.push_back(r * cols + c);
+      }
+      while (r != br) {
+        r += br > r ? 1 : -1;
+        path.push_back(r * cols + c);
+      }
+      return path;
+    }
+    case Topology::kHypercube: {
+      // e-cube routing: fix differing bits from LSB up.  Intermediate
+      // labels of an incomplete hypercube may exceed nprocs - 1; they name
+      // links in the label lattice, consistent with the Hamming hop count.
+      const auto diff = static_cast<std::uint32_t>(a ^ b);
+      int v = a;
+      for (int bit = 0; bit < 32; ++bit) {
+        if (diff & (1u << bit)) {
+          v ^= static_cast<int>(1u << bit);
+          path.push_back(v);
+        }
+      }
+      return path;
+    }
   }
   KALI_FAIL("unknown topology");
 }

@@ -1,16 +1,25 @@
-// Interconnect hop-count models.
+// Interconnect hop-count and routing models.
 //
-// The cost model charges `latency + per_hop * (hops - 1)` per message, so a
-// topology only needs to supply pairwise hop counts.  Store-and-forward
-// per-hop costs were significant on 1989 machines (pre-wormhole routing).
+// The cut-through cost model charges `latency + per_hop * (hops - 1)` per
+// message, so it only needs pairwise hop counts.  The store-and-forward
+// contention model (LinkContention::kStoreForward) additionally needs the
+// actual path: route() returns the deterministic dimension-ordered route a
+// message follows, and every directed edge on it is a serializable resource
+// with its own busy-until clock.  Store-and-forward per-hop costs were
+// significant on 1989 machines (pre-wormhole routing).
 #pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "machine/config.hpp"
 
 namespace kali {
 
 /// Hop count between ranks `a` and `b` among `nprocs` processors.
-/// For kMesh2D the machine is folded into a near-square grid; for
+/// For kMesh2D the machine is a near-square rows x cols grid with
+/// rows * cols == nprocs (mesh_rows guarantees the factorization); for
 /// kHypercube ranks are compared bitwise (nprocs need not be a power of 2:
 /// the Hamming distance of the rank labels is used as-is).
 int hop_count(Topology topo, int nprocs, int a, int b);
@@ -18,10 +27,41 @@ int hop_count(Topology topo, int nprocs, int a, int b);
 /// Rows of the near-square factorization used by kMesh2D (exposed for tests).
 int mesh_rows(int nprocs);
 
+/// (row, col) of `rank` in the kMesh2D grid of `nprocs` processors —
+/// the single coordinate map shared by hop_count and route.
+std::pair<int, int> mesh_coord(int nprocs, int rank);
+
 /// Network diameter: the largest hop count between any two of `nprocs`
 /// ranks.  Used by the performance predictor to bound the per-message
 /// latency of all-to-all exchanges, where the worst-separated pair sets the
 /// wire term.
 int diameter(Topology topo, int nprocs);
+
+/// The deterministic route a message takes from `a` to `b`: the full node
+/// sequence [a, ..., b], of length hop_count(a, b) + 1 (just [a] when
+/// a == b).  Routing is dimension-ordered, so it depends only on the
+/// endpoints — both ends of a transfer can reconstruct it independently:
+///  * kComplete — the dedicated link [a, b] (crossbar);
+///  * kRing     — around the shorter arc, clockwise (increasing ranks) on
+///                the tie at nprocs / 2;
+///  * kMesh2D   — X-Y routing: correct the column first, then the row;
+///  * kHypercube — e-cube routing: fix differing bits from least to most
+///                significant.  For non-power-of-two sizes intermediate
+///                labels may name absent nodes (the label lattice matches
+///                hop_count's Hamming metric); they serve only to identify
+///                edges, never to address processors.
+std::vector<int> route(Topology topo, int nprocs, int a, int b);
+
+/// First intermediate node of route(topo, nprocs, a, b) in O(1), without
+/// materializing the path — the send hot path only needs the injection
+/// edge (a, first_hop).  Requires a != b.
+int first_hop(Topology topo, int nprocs, int a, int b);
+
+/// Stable identifier of the directed edge u -> v, the key of the
+/// store-and-forward busy clocks and ledgers.  Node labels fit in 32 bits.
+inline std::int64_t edge_id(int u, int v) {
+  return (static_cast<std::int64_t>(u) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+}
 
 }  // namespace kali

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "machine/topology.hpp"
 #include "support/check.hpp"
@@ -16,6 +17,53 @@ int log2i(int p) {
     ++k;
   }
   return k;
+}
+
+/// The two serialization bottlenecks the store-and-forward simulator
+/// produces for an all-pairs exchange on p ranks, computed exactly from
+/// the deterministic routes:
+///  * injection — per sender, messages sharing a first-hop edge serialize
+///    on the sender's own out-edge clock; the heaviest such edge over all
+///    senders.
+///  * funnel — per receiver, messages crossing a shared later edge queue
+///    in that receiver's ledger; the heaviest such edge over all
+///    receivers.
+struct SfLoads {
+  int injection = 0;
+  int funnel = 0;
+};
+
+SfLoads sf_transpose_loads(Topology topo, int p) {
+  SfLoads loads;
+  std::map<std::int64_t, int> edge_count;
+  for (int a = 0; a < p; ++a) {
+    edge_count.clear();
+    for (int b = 0; b < p; ++b) {
+      if (b == a) {
+        continue;
+      }
+      ++edge_count[edge_id(a, first_hop(topo, p, a, b))];
+    }
+    for (const auto& [e, n] : edge_count) {
+      loads.injection = std::max(loads.injection, n);
+    }
+  }
+  for (int b = 0; b < p; ++b) {
+    edge_count.clear();
+    for (int a = 0; a < p; ++a) {
+      if (a == b) {
+        continue;
+      }
+      const std::vector<int> path = route(topo, p, a, b);
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        ++edge_count[edge_id(path[i], path[i + 1])];
+      }
+    }
+    for (const auto& [e, n] : edge_count) {
+      loads.funnel = std::max(loads.funnel, n);
+    }
+  }
+  return loads;
 }
 }  // namespace
 
@@ -79,41 +127,73 @@ double Predictor::mtri_solve(int nsys, int n, int p) const {
   return (nsys + 2.0 * k) * per_step + message(8 * 8, 1);
 }
 
-double Predictor::all_to_all(int p, double bytes, bool contention) const {
+double Predictor::all_to_all(int p, double bytes,
+                             LinkContention model) const {
   KALI_CHECK(p >= 1, "all_to_all: p must be positive");
   if (p <= 1) {
     return 0.0;
   }
+  const int d = diameter(cfg_.topology, p);
   // Worst-separated pair bounds the one-off latency term.
-  const double alpha =
-      cfg_.latency + cfg_.per_hop * (diameter(cfg_.topology, p) - 1);
+  const double alpha = cfg_.latency + cfg_.per_hop * (d - 1);
   const double slab = bytes * cfg_.byte_time;
   const double per_msg = cfg_.send_overhead + cfg_.recv_overhead;
-  if (!contention) {
-    // Slabs overlap on infinitely parallel links: p-1 software overheads
-    // back to back, one latency, and only the last slab's wire time shows.
-    return (p - 1) * per_msg + alpha + slab;
+  switch (model) {
+    case LinkContention::kNone:
+      // Slabs overlap on infinitely parallel links: p-1 software overheads
+      // back to back, one latency, and only the last slab's wire time
+      // shows.
+      return (p - 1) * per_msg + alpha + slab;
+    case LinkContention::kPorts:
+      // Round-structured: each of the p-1 rounds moves one slab per port,
+      // and rounds pipeline — whichever of wire time and software overhead
+      // is larger paces the rounds; the final slab's drain and latency are
+      // paid once.
+      return (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
+    case LinkContention::kStoreForward: {
+      // The busiest serialized edge paces the exchange; round order lets
+      // the injection serialization and the funnel drain overlap fully, so
+      // only the heavier of the two shows, plus a (d-1)-deep
+      // store-and-forward tail for the last slab (its first wire time is
+      // already inside the bottleneck drain).
+      const SfLoads loads = sf_transpose_loads(cfg_.topology, p);
+      const double paced = std::max(loads.injection, loads.funnel) *
+                           std::max(slab, per_msg);
+      return paced + (d - 1) * slab + alpha + (p - 1) * per_msg;
+    }
   }
-  // Round-structured: each of the p-1 rounds moves one slab per port, and
-  // rounds pipeline — whichever of wire time and software overhead is
-  // larger paces the rounds; the final slab's drain and latency are paid
-  // once.
-  return (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
+  KALI_FAIL("unknown link contention model");
 }
 
-double Predictor::all_to_all_naive(int p, double bytes) const {
+double Predictor::all_to_all_naive(int p, double bytes,
+                                   LinkContention model) const {
   KALI_CHECK(p >= 1, "all_to_all: p must be positive");
+  KALI_CHECK(model != LinkContention::kNone,
+             "all_to_all_naive: issue order only matters under contention");
   if (p <= 1) {
     return 0.0;
   }
-  const double alpha =
-      cfg_.latency + cfg_.per_hop * (diameter(cfg_.topology, p) - 1);
+  const int d = diameter(cfg_.topology, p);
+  const double alpha = cfg_.latency + cfg_.per_hop * (d - 1);
   const double slab = bytes * cfg_.byte_time;
   const double per_msg = cfg_.send_overhead + cfg_.recv_overhead;
-  // Ascending-peer issue: every rank's k-th injection targets ejection
-  // port k, so the last port receives a whole wave at once and drains it
-  // serially after its own injections finish — the wire term doubles.
-  return 2.0 * (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
+  if (model == LinkContention::kPorts) {
+    // Ascending-peer issue: every rank's k-th injection targets ejection
+    // port k, so the last port receives a whole wave at once and drains it
+    // serially after its own injections finish — the wire term doubles.
+    return 2.0 * (p - 1) * std::max(slab, per_msg) + alpha + slab + per_msg;
+  }
+  // Store-and-forward: all p-1 messages toward one destination launch in
+  // the same wave, so the last destination's funnel drains after the
+  // injection serialization instead of overlapping it.  The senders' busy
+  // out-edges still spread the arrivals, so about half the thinner
+  // resource's drain stays exposed on top of the scheduled cost.
+  const SfLoads loads = sf_transpose_loads(cfg_.topology, p);
+  const double paced = std::max(loads.injection, loads.funnel) *
+                       std::max(slab, per_msg);
+  const double exposed =
+      0.5 * std::min(loads.injection, loads.funnel) * slab;
+  return paced + exposed + (d - 1) * slab + alpha + (p - 1) * per_msg;
 }
 
 double Predictor::adi_iteration(int n, int px, int py, bool pipelined) const {

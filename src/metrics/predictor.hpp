@@ -22,10 +22,21 @@ class Predictor {
   Predictor(const MachineConfig& cfg, int nprocs)
       : cfg_(cfg), nprocs_(nprocs) {}
 
-  /// End-to-end delivery time of one message of `bytes` over `hops`.
+  /// End-to-end delivery time of one message of `bytes` over `hops`
+  /// (cut-through wire: one byte-time term however many hops).
   [[nodiscard]] double message(double bytes, int hops = 1) const {
     return cfg_.send_overhead + cfg_.latency + cfg_.per_hop * (hops - 1) +
            bytes * cfg_.byte_time + cfg_.recv_overhead;
+  }
+
+  /// The same message under LinkContention::kStoreForward: every hop
+  /// stores the whole payload before forwarding, so the wire term is paid
+  /// once per edge.  Exact for an uncontended message (matches the
+  /// simulator to the bit).
+  [[nodiscard]] double message_store_forward(double bytes,
+                                             int hops = 1) const {
+    return cfg_.send_overhead + cfg_.latency + cfg_.per_hop * (hops - 1) +
+           hops * bytes * cfg_.byte_time + cfg_.recv_overhead;
   }
 
   /// One 5-point-stencil halo exchange on a px x py block grid of an
@@ -48,20 +59,34 @@ class Predictor {
   /// every ordered pair carries `bytes` — the fft2/ADI transpose shape
   /// redistribute() produces between (block, *) and (*, block) — issued
   /// through the round-structured schedule of runtime/schedule.hpp.
-  /// `contention` mirrors MachineConfig::link_contention: with it, each of
-  /// the p-1 rounds is a perfect matching, so every injection/ejection
-  /// link carries one slab per round and the wire term is (p-1) slab
-  /// times; without it, slabs overlap and only the last is visible.
+  /// `model` mirrors MachineConfig::link_contention:
+  ///  * kNone — slabs overlap on infinitely parallel links; only the last
+  ///    slab's wire time is visible past the software overheads.
+  ///  * kPorts — each of the p-1 rounds is a perfect matching, so every
+  ///    injection/ejection link carries one slab per round and the wire
+  ///    term is (p-1) slab times.
+  ///  * kStoreForward — the busiest serialized edge paces the exchange:
+  ///    the heaviest injection edge (destinations sharing a first hop at
+  ///    one sender) or the heaviest funnel edge (sources converging on one
+  ///    receiver), both computed exactly from route(), plus a
+  ///    diameter-deep store-and-forward tail for the last slab.
   /// Pack/unpack compute (one flop per element each side) is excluded —
   /// add it via flop_time if comparing against simulated makespans.
-  [[nodiscard]] double all_to_all(int p, double bytes, bool contention) const;
+  [[nodiscard]] double all_to_all(int p, double bytes,
+                                  LinkContention model) const;
 
   /// The same exchange issued in naive ascending-peer order under link
-  /// contention: all ranks inject toward the same ejection port in the
-  /// same wave, so the hottest port drains a whole wave after the last
-  /// injection — about twice the scheduled wire time.  This is the cost
-  /// the schedule removes (bench_redistribute's naive_order column).
-  [[nodiscard]] double all_to_all_naive(int p, double bytes) const;
+  /// contention: all ranks inject toward the same destination in the same
+  /// wave.  Under kPorts the hottest ejection port drains a whole wave
+  /// after the last injection — about twice the scheduled wire time.
+  /// Under kStoreForward the injection serialization and the hot
+  /// receiver's funnel drain compound instead of overlapping (naive order
+  /// oversubscribes the bisection edges toward each destination in turn).
+  /// This is the cost the schedule removes (bench_redistribute's
+  /// naive_order column).
+  [[nodiscard]] double all_to_all_naive(
+      int p, double bytes,
+      LinkContention model = LinkContention::kPorts) const;
 
  private:
   [[nodiscard]] double ft() const { return cfg_.flop_time; }

@@ -41,7 +41,10 @@
 // perfect matching over the union of the two views and, with
 // MachineConfig::link_contention, no injection or ejection link is
 // oversubscribed.  IssueOrder::kPeerOrder preserves the raw enumeration
-// order as the naive baseline bench_redistribute compares against.
+// order as the naive baseline bench_redistribute compares against;
+// IssueOrder::kLockstep walks the same rounds but completes each round's
+// send/recv pair before advancing, bounding in-flight mailbox memory to a
+// small constant per port instead of O(P) posted slabs.
 //
 // The original implementation (per-element {index, value} packets, full
 // P_src × P_dst message flood including empty messages) is retained as
@@ -252,52 +255,51 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
         ctx.compute(static_cast<double>(overlap.volume()));
       }
     }
+    std::vector<std::pair<int, detail::Box<R>>> out;
+    std::vector<std::pair<int, detail::Box<R>>> in;
     if (in_src) {
       const detail::Box<R> mine = detail::owned_box(src);
       if (!mine.empty()) {
-        std::vector<std::pair<int, detail::Box<R>>> out;
         detail::for_each_intersecting_peer(
             dst, mine, [&](int rank, const detail::Box<R>& b) {
               if (rank != ctx.rank()) {
                 out.emplace_back(rank, b);
               }
             });
-        detail::round_sort(out, members, ctx.rank(), order);
-        std::vector<T> buf;
-        double packed = 0;
-        for (const auto& [rank, b] : out) {
-          buf.clear();
-          buf.reserve(static_cast<std::size_t>(b.volume()));
-          detail::for_each_in_box(b, [&](GIndex<R> g) { buf.push_back(src.at(g)); });
-          ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(buf));
-          packed += static_cast<double>(buf.size());
-        }
-        ctx.compute(packed);
       }
     }
     if (in_dst) {
       const detail::Box<R> mine = detail::owned_box(dst);
       if (!mine.empty()) {
-        std::vector<std::pair<int, detail::Box<R>>> in;
         detail::for_each_intersecting_peer(
             src, mine, [&](int rank, const detail::Box<R>& b) {
               if (rank != ctx.rank()) {
                 in.emplace_back(rank, b);
               }
             });
-        detail::round_sort(in, members, ctx.rank(), order);
-        double unpacked = 0;
-        for (const auto& [rank, b] : in) {
-          auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
-          KALI_CHECK(vals.size() == static_cast<std::size_t>(b.volume()),
-                     "redistribute: slab size mismatch");
-          std::size_t k = 0;
-          detail::for_each_in_box(b, [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
-          unpacked += static_cast<double>(k);
-        }
-        ctx.compute(unpacked);
       }
     }
+    std::vector<T> buf;
+    double packed = 0;
+    double unpacked = 0;
+    auto send_one = [&](int rank, const detail::Box<R>& b) {
+      buf.clear();
+      buf.reserve(static_cast<std::size_t>(b.volume()));
+      detail::for_each_in_box(b, [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+      ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(buf));
+      packed += static_cast<double>(buf.size());
+    };
+    auto recv_one = [&](int rank, const detail::Box<R>& b) {
+      auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
+      KALI_CHECK(vals.size() == static_cast<std::size_t>(b.volume()),
+                 "redistribute: slab size mismatch");
+      std::size_t k = 0;
+      detail::for_each_in_box(b, [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+      unpacked += static_cast<double>(k);
+    };
+    detail::issue_exchange(
+        members, ctx.rank(), order, out, in, send_one, recv_one,
+        [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
     return;
   }
 
@@ -307,6 +309,9 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
   // index metadata or count exchange.  Elements whose destination owner is
   // the sender itself are never binned: the receiver side copies them
   // straight from the local source slab.
+  std::vector<std::pair<int, std::vector<T>>> out;
+  std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
+  double unpacked = 0;
   if (in_src) {
     const std::vector<int> dst_ranks = dst.view().ranks();
     const std::size_t self_di =
@@ -319,19 +324,11 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
         bins[di].push_back(src.at(g));
       }
     });
-    std::vector<std::pair<int, std::vector<T>>> out;
     for (std::size_t pi = 0; pi < bins.size(); ++pi) {
       if (!bins[pi].empty()) {
         out.emplace_back(dst_ranks[pi], std::move(bins[pi]));
       }
     }
-    detail::round_sort(out, members, ctx.rank(), order);
-    double packed = 0;
-    for (const auto& [rank, vals] : out) {
-      ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(vals));
-      packed += static_cast<double>(vals.size());
-    }
-    ctx.compute(packed);
   }
   if (in_dst) {
     const std::vector<int> src_ranks = src.view().ranks();
@@ -339,8 +336,6 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
     dst.for_each_owned([&](GIndex<R> g) {
       expect[detail::owner_index(src, g)].push_back(g);
     });
-    std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
-    double unpacked = 0;
     for (std::size_t pi = 0; pi < expect.size(); ++pi) {
       if (expect[pi].empty()) {
         continue;
@@ -355,17 +350,23 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
       }
       in.emplace_back(src_ranks[pi], std::move(expect[pi]));
     }
-    detail::round_sort(in, members, ctx.rank(), order);
-    for (const auto& [rank, idxs] : in) {
-      auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
-      KALI_CHECK(vals.size() == idxs.size(), "redistribute: bin size mismatch");
-      for (std::size_t k = 0; k < vals.size(); ++k) {
-        dst.at(idxs[k]) = vals[k];
-      }
-      unpacked += static_cast<double>(vals.size());
-    }
-    ctx.compute(unpacked);
   }
+  double packed = 0;
+  auto send_one = [&](int rank, const std::vector<T>& vals) {
+    ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(vals));
+    packed += static_cast<double>(vals.size());
+  };
+  auto recv_one = [&](int rank, const std::vector<GIndex<R>>& idxs) {
+    auto vals = ctx.recv_vec<T>(rank, kTagRedistData);
+    KALI_CHECK(vals.size() == idxs.size(), "redistribute: bin size mismatch");
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      dst.at(idxs[k]) = vals[k];
+    }
+    unpacked += static_cast<double>(vals.size());
+  };
+  detail::issue_exchange(
+      members, ctx.rank(), order, out, in, send_one, recv_one,
+      [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
 }
 
 /// The original "runtime resolution" implementation: every source member

@@ -199,6 +199,9 @@ void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
   const std::vector<int> members =
       detail::union_members(src.view().ranks(), dst.view().ranks());
 
+  std::vector<std::pair<int, std::vector<T>>> out;
+  std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
+  double unpacked = 0;
   if (in_src) {
     const std::vector<int> dst_ranks = dst.view().ranks();
     const std::size_t self_di =
@@ -217,19 +220,11 @@ void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
         bins[di].push_back(src.at(g));
       }
     });
-    std::vector<std::pair<int, std::vector<T>>> out;
     for (std::size_t pi = 0; pi < bins.size(); ++pi) {
       if (!bins[pi].empty()) {
         out.emplace_back(dst_ranks[pi], std::move(bins[pi]));
       }
     }
-    detail::round_sort(out, members, ctx.rank(), order);
-    double moved = 0;
-    for (const auto& [rank, vals] : out) {
-      ctx.send_span<T>(rank, kTagRemap, std::span<const T>(vals));
-      moved += static_cast<double>(vals.size());
-    }
-    ctx.compute(moved);
   }
   if (in_dst) {
     // Expected elements per source rank, derived from my own slab in the
@@ -245,8 +240,6 @@ void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
       gs[ud] = s_off + (rel / d_stride) * s_stride;
       expect[detail::owner_index(src, gs)].push_back(g);
     });
-    std::vector<std::pair<int, std::vector<GIndex<R>>>> in;
-    double unpacked = 0;
     for (std::size_t pi = 0; pi < expect.size(); ++pi) {
       if (expect[pi].empty()) {
         continue;
@@ -263,18 +256,24 @@ void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
       }
       in.emplace_back(src_ranks[pi], std::move(expect[pi]));
     }
-    detail::round_sort(in, members, ctx.rank(), order);
-    for (const auto& [rank, idxs] : in) {
-      auto vals = ctx.recv_vec<T>(rank, kTagRemap);
-      KALI_CHECK(vals.size() == idxs.size(),
-                 "copy_strided_dim: bin size mismatch");
-      for (std::size_t k = 0; k < vals.size(); ++k) {
-        dst.at(idxs[k]) = vals[k];
-      }
-      unpacked += static_cast<double>(vals.size());
-    }
-    ctx.compute(unpacked);
   }
+  double packed = 0;
+  auto send_one = [&](int rank, const std::vector<T>& vals) {
+    ctx.send_span<T>(rank, kTagRemap, std::span<const T>(vals));
+    packed += static_cast<double>(vals.size());
+  };
+  auto recv_one = [&](int rank, const std::vector<GIndex<R>>& idxs) {
+    auto vals = ctx.recv_vec<T>(rank, kTagRemap);
+    KALI_CHECK(vals.size() == idxs.size(),
+               "copy_strided_dim: bin size mismatch");
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      dst.at(idxs[k]) = vals[k];
+    }
+    unpacked += static_cast<double>(vals.size());
+  };
+  detail::issue_exchange(
+      members, ctx.rank(), order, out, in, send_one, recv_one,
+      [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
 }
 
 template <class T, int R>
@@ -309,12 +308,14 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
     detail::TRange t;  ///< transfer steps shared with the peer
   };
 
+  std::vector<std::pair<int, Slab>> out;
+  std::vector<std::pair<int, Slab>> in;
+  double unpacked = 0;
   if (in_src) {
     const detail::Box<R> mine = detail::owned_box(src);
     const detail::TRange tm = detail::strided_steps(
         mine.lo[ud], mine.hi[ud], s_off, s_stride, count - 1);
     if (!mine.empty() && !tm.empty()) {
-      std::vector<std::pair<int, Slab>> out;
       detail::for_each_strided_peer(
           dst, mine, dim, tm, d_off, d_stride,
           [&](int rank, const detail::Box<R>& b, detail::TRange t) {
@@ -322,18 +323,6 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
               out.emplace_back(rank, Slab{b, t});
             }
           });
-      detail::round_sort(out, members, ctx.rank(), order);
-      std::vector<T> buf;
-      double packed = 0;
-      for (const auto& [rank, slab] : out) {
-        buf.clear();
-        detail::for_each_strided_in_box(
-            slab.b, slab.t, dim, s_off, s_stride,
-            [&](GIndex<R> g) { buf.push_back(src.at(g)); });
-        ctx.send_span<T>(rank, kTagRemap, std::span<const T>(buf));
-        packed += static_cast<double>(buf.size());
-      }
-      ctx.compute(packed);
     }
   }
   if (in_dst) {
@@ -341,8 +330,6 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
     const detail::TRange tm = detail::strided_steps(
         mine.lo[ud], mine.hi[ud], d_off, d_stride, count - 1);
     if (!mine.empty() && !tm.empty()) {
-      std::vector<std::pair<int, Slab>> in;
-      double unpacked = 0;
       detail::for_each_strided_peer(
           src, mine, dim, tm, s_off, s_stride,
           [&](int rank, const detail::Box<R>& b, detail::TRange t) {
@@ -361,23 +348,34 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
               in.emplace_back(rank, Slab{b, t});
             }
           });
-      detail::round_sort(in, members, ctx.rank(), order);
-      for (const auto& [rank, slab] : in) {
-        auto vals = ctx.recv_vec<T>(rank, kTagRemap);
-        detail::Box<R> e = slab.b;  // payload size check before unpacking
-        e.lo[ud] = slab.t.lo;
-        e.hi[ud] = slab.t.hi;
-        KALI_CHECK(vals.size() == static_cast<std::size_t>(e.volume()),
-                   "copy_strided_dim: slab size mismatch");
-        std::size_t k = 0;
-        detail::for_each_strided_in_box(
-            slab.b, slab.t, dim, d_off, d_stride,
-            [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
-        unpacked += static_cast<double>(k);
-      }
-      ctx.compute(unpacked);
     }
   }
+  std::vector<T> buf;
+  double packed = 0;
+  auto send_one = [&](int rank, const Slab& slab) {
+    buf.clear();
+    detail::for_each_strided_in_box(
+        slab.b, slab.t, dim, s_off, s_stride,
+        [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+    ctx.send_span<T>(rank, kTagRemap, std::span<const T>(buf));
+    packed += static_cast<double>(buf.size());
+  };
+  auto recv_one = [&](int rank, const Slab& slab) {
+    auto vals = ctx.recv_vec<T>(rank, kTagRemap);
+    detail::Box<R> e = slab.b;  // payload size check before unpacking
+    e.lo[ud] = slab.t.lo;
+    e.hi[ud] = slab.t.hi;
+    KALI_CHECK(vals.size() == static_cast<std::size_t>(e.volume()),
+               "copy_strided_dim: slab size mismatch");
+    std::size_t k = 0;
+    detail::for_each_strided_in_box(
+        slab.b, slab.t, dim, d_off, d_stride,
+        [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+    unpacked += static_cast<double>(k);
+  };
+  detail::issue_exchange(
+      members, ctx.rank(), order, out, in, send_one, recv_one,
+      [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
 }
 
 }  // namespace kali

@@ -218,11 +218,12 @@ TEST(Adi, PipelinedIsFasterInSimulatedTime) {
 
 TEST(Adi, TransposeBitIdenticalUnderLinkContention) {
   // Link contention reorders nothing and drops nothing: the transpose
-  // solver's iterates are bit-identical with contention on — only the
-  // simulated clocks move.  Also the headline bugfix end to end: the three
-  // redistributions per iteration must generate zero self-messages.
+  // solver's iterates are bit-identical in every contention tier — ports
+  // and store-and-forward alike — only the simulated clocks move.  Also
+  // the headline PR 3 bugfix end to end: the three redistributions per
+  // iteration must generate zero self-messages.
   const int n = 16, px = 2, py = 2, iters = 4;
-  auto run = [&](bool contention) {
+  auto run = [&](LinkContention contention) {
     MachineConfig cfg = quiet_config();
     cfg.link_contention = contention;
     Machine m(px * py, cfg);
@@ -246,14 +247,17 @@ TEST(Adi, TransposeBitIdenticalUnderLinkContention) {
     EXPECT_EQ(m.stats().self_msgs_total(), 0u);
     return std::pair{probe, m.stats().max_clock()};
   };
-  const auto [a, clock_off] = run(false);
-  const auto [b, clock_on] = run(true);
-  ASSERT_EQ(a.size(), b.size());
-  ASSERT_FALSE(a.empty());
-  for (std::size_t k = 0; k < a.size(); ++k) {
-    EXPECT_EQ(a[k], b[k]);  // bit-identical, not just close
+  const auto [a, clock_off] = run(LinkContention::kNone);
+  for (LinkContention mode :
+       {LinkContention::kPorts, LinkContention::kStoreForward}) {
+    const auto [b, clock_on] = run(mode);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]);  // bit-identical, not just close
+    }
+    EXPECT_GE(clock_on, clock_off);
   }
-  EXPECT_GE(clock_on, clock_off);
 }
 
 TEST(Adi, RequiresHalo) {

@@ -154,6 +154,133 @@ TEST(Collectives, NonMemberConstructionThrows) {
   EXPECT_THROW(Group({0, 1}, 5), Error);
 }
 
+TEST(Collectives, GatherWorksForEveryRoot) {
+  const int p = 7;
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> mine(static_cast<std::size_t>(ctx.rank() % 3),
+                            10 * ctx.rank());
+      auto all = gather(ctx, g, root, std::span<const int>(mine));
+      if (g.index() == root) {
+        std::vector<int> expect;
+        for (int i = 0; i < p; ++i) {
+          expect.insert(expect.end(), static_cast<std::size_t>(i % 3), 10 * i);
+        }
+        EXPECT_EQ(all, expect);
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+    }
+  });
+}
+
+TEST(Collectives, GatherDrainsChildrenThroughTree) {
+  // The root must not pay P - 1 serial receives: contributions aggregate
+  // up the binary tree, every non-root member forwarding exactly one
+  // counts message and one payload message, so the root receives at most
+  // two message pairs however large the group.
+  const int p = 16;
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    std::vector<double> mine(4, 1.0 * ctx.rank());
+    (void)gather(ctx, g, 0, std::span<const double>(mine));
+  });
+  const MachineStats st = m.stats();
+  EXPECT_EQ(st.per_proc[0].msgs_recv, 4u);  // 2 children x (counts + data)
+  EXPECT_EQ(st.totals().msgs_sent, static_cast<std::uint64_t>(2 * (p - 1)));
+}
+
+TEST(Collectives, SyncClocksDoesNotLeakLinkStateAcrossPhases) {
+  // The regression the barrier fix pins down: a contended phase *before*
+  // sync_clocks (and the barrier's own traffic) must not change what a
+  // measured phase after it reports — under the port model and the
+  // store-and-forward model alike.
+  for (LinkContention mode :
+       {LinkContention::kPorts, LinkContention::kStoreForward}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    auto measured_phase = [&](bool noisy_prelude) {
+      MachineConfig cfg;
+      cfg.recv_timeout_wall = 10.0;
+      cfg.topology = Topology::kHypercube;
+      cfg.link_contention = mode;
+      Machine m(8, cfg);
+      std::vector<double> waits(8, 0.0);
+      std::vector<double> spans(8, 0.0);
+      m.run([&](Context& ctx) {
+        Group g = whole_machine(ctx);
+        std::vector<double> v(2000, 1.0);
+        auto hot_exchange = [&] {
+          // Everyone floods rank 0 — heavy port and edge queueing.
+          if (ctx.rank() != 0) {
+            ctx.send_span<double>(0, 5, v);
+          } else {
+            for (int s = 1; s < ctx.nprocs(); ++s) {
+              (void)ctx.recv_vec<double>(s, 5);
+            }
+          }
+        };
+        if (noisy_prelude) {
+          hot_exchange();
+        }
+        const double aligned = sync_clocks(ctx, g);
+        const ProcCounters before = ctx.proc().counters();
+        hot_exchange();
+        const auto r = static_cast<std::size_t>(ctx.rank());
+        waits[r] = (ctx.proc().counters().link_wait_time -
+                    before.link_wait_time) +
+                   (ctx.proc().counters().edge_wait_time -
+                    before.edge_wait_time);
+        spans[r] = ctx.clock() - aligned;
+      });
+      return std::pair{waits, spans};
+    };
+    const auto [w_clean, s_clean] = measured_phase(false);
+    const auto [w_noisy, s_noisy] = measured_phase(true);
+    for (std::size_t r = 0; r < w_clean.size(); ++r) {
+      EXPECT_NEAR(w_noisy[r], w_clean[r], 1e-9) << "rank " << r;
+      EXPECT_NEAR(s_noisy[r], s_clean[r], 1e-9) << "rank " << r;
+    }
+    // The phase itself is genuinely contended — the equality above is not
+    // comparing zeros.
+    double total = 0.0;
+    for (double w : w_clean) {
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST(Collectives, SyncClocksChargesNoPhantomWaitToStraddlingMessages) {
+  // A message sent before the barrier and received after it crosses an
+  // otherwise idle link: resetting the port clocks at the barrier must not
+  // manufacture queueing against it.
+  for (LinkContention mode :
+       {LinkContention::kPorts, LinkContention::kStoreForward}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.link_contention = mode;
+    Machine m(4, cfg);
+    m.run([](Context& ctx) {
+      Group g = whole_machine(ctx);
+      if (ctx.rank() == 3) {
+        ctx.send<int>(2, 5, 42);   // in flight across the barrier
+        ctx.compute(1.0e6);        // push the aligned clock far past it
+      }
+      sync_clocks(ctx, g);
+      if (ctx.rank() == 2) {
+        EXPECT_EQ(ctx.recv<int>(3, 5), 42);
+      }
+    });
+    EXPECT_EQ(m.stats().contended_msgs(), 0u);
+    EXPECT_DOUBLE_EQ(m.stats().link_wait_time(), 0.0);
+    EXPECT_DOUBLE_EQ(m.stats().edge_wait_time(), 0.0);
+  }
+}
+
 TEST(Collectives, DisjointSubgroupsRunConcurrently) {
   Machine m(4, quiet_config());
   m.run([](Context& ctx) {

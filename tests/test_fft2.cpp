@@ -124,6 +124,45 @@ TEST(Fft2, MatchesSequentialTransform) {
   });
 }
 
+TEST(Fft2, BitIdenticalUnderEveryContentionTier) {
+  // The contention models change clocks only: the distributed FFT's
+  // transpose moves the same payloads in the same per-pair order, so the
+  // spectrum is bit-identical with ports or store-and-forward queueing on.
+  const int p = 4, n = 16;
+  auto run = [&](LinkContention mode) {
+    MachineConfig cfg = quiet_config();
+    cfg.topology = Topology::kMesh2D;
+    cfg.link_contention = mode;
+    Machine m(p, cfg);
+    std::vector<Complex> probe;
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid1(p);
+      auto [rows, cols] = make(ctx, pv, n);
+      rows.fill([&](std::array<int, 2> g) {
+        return Complex(0.3 * g[0] + 0.1 * g[1], 0.02 * g[0] * g[1]);
+      });
+      fft2_forward(ctx, rows, cols);
+      if (ctx.rank() == 1) {
+        cols.for_each_owned(
+            [&](std::array<int, 2> g) { probe.push_back(cols.at(g)); });
+      }
+    });
+    return std::pair{probe, m.stats().max_clock()};
+  };
+  const auto [base, clock_off] = run(LinkContention::kNone);
+  ASSERT_FALSE(base.empty());
+  for (LinkContention mode :
+       {LinkContention::kPorts, LinkContention::kStoreForward}) {
+    const auto [got, clock_on] = run(mode);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      EXPECT_EQ(got[k].real(), base[k].real());  // bit-identical
+      EXPECT_EQ(got[k].imag(), base[k].imag());
+    }
+    EXPECT_GE(clock_on, clock_off);
+  }
+}
+
 TEST(Fft2, RejectsDistributedTransformDim) {
   Machine m(2, quiet_config());
   EXPECT_THROW(m.run([&](Context& ctx) {

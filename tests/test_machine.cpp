@@ -246,7 +246,8 @@ TEST(Machine, ContentionSerializesEjectionLink) {
     MachineConfig cfg;
     cfg.recv_timeout_wall = 10.0;
     cfg.topology = Topology::kComplete;
-    cfg.link_contention = contention;
+    cfg.link_contention =
+        contention ? LinkContention::kPorts : LinkContention::kNone;
     Machine m(3, cfg);
     m.run([](Context& ctx) {
       std::vector<double> v(1000, 1.0);
@@ -284,7 +285,8 @@ TEST(Machine, ContentionSerializesInjectionLink) {
     MachineConfig cfg;
     cfg.recv_timeout_wall = 10.0;
     cfg.topology = Topology::kComplete;
-    cfg.link_contention = contention;
+    cfg.link_contention =
+        contention ? LinkContention::kPorts : LinkContention::kNone;
     Machine m(3, cfg);
     m.run([](Context& ctx) {
       std::vector<double> v(500, 2.0);
@@ -310,12 +312,13 @@ TEST(Machine, ContentionSerializesInjectionLink) {
 }
 
 TEST(Machine, ContentionOffMatchesLegacyCostModel) {
-  // link_contention=false must reproduce the original arrival formula
+  // LinkContention::kNone must reproduce the original arrival formula
   // exactly — clocks included, not just results.
   auto makespan = [](bool contention) {
     MachineConfig cfg;
     cfg.recv_timeout_wall = 10.0;
-    cfg.link_contention = contention;
+    cfg.link_contention =
+        contention ? LinkContention::kPorts : LinkContention::kNone;
     Machine m(4, cfg);
     m.run([](Context& ctx) {
       const int next = (ctx.rank() + 1) % 4;
@@ -334,7 +337,7 @@ TEST(Machine, ContentionOffMatchesLegacyCostModel) {
 TEST(Machine, ResetStatsClearsLinkClocks) {
   MachineConfig cfg;
   cfg.recv_timeout_wall = 10.0;
-  cfg.link_contention = true;
+  cfg.link_contention = LinkContention::kPorts;
   Machine m(2, cfg);
   m.run([](Context& ctx) {
     std::vector<double> v(100, 1.0);
@@ -359,6 +362,144 @@ TEST(Machine, ResetStatsClearsLinkClocks) {
     }
   });
   EXPECT_EQ(m.stats().contended_msgs(), 0u);
+}
+
+TEST(Machine, StoreForwardChargesWirePerHop) {
+  // Ring 0 -> 2 is two hops: under store-and-forward the payload is stored
+  // and re-transmitted at node 1, so the wire term doubles (plus one
+  // per_hop forwarding latency) — exact clock algebra, no contention.
+  constexpr int kDoubles = 500;
+  auto clock_of = [](LinkContention mode) {
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.topology = Topology::kRing;
+    cfg.link_contention = mode;
+    Machine m(4, cfg);
+    m.run([](Context& ctx) {
+      std::vector<double> v(kDoubles, 1.0);
+      if (ctx.rank() == 0) {
+        ctx.send_span<double>(2, 1, v);
+      } else if (ctx.rank() == 2) {
+        (void)ctx.recv_vec<double>(0, 1);
+      }
+    });
+    return m.stats().clocks[2];
+  };
+  MachineConfig cfg;
+  const double wire = kDoubles * 8 * cfg.byte_time;
+  const double base = cfg.send_overhead + cfg.latency + cfg.per_hop;
+  EXPECT_NEAR(clock_of(LinkContention::kNone),
+              base + wire + cfg.recv_overhead, 1e-12);
+  EXPECT_NEAR(clock_of(LinkContention::kStoreForward),
+              base + 2.0 * wire + cfg.recv_overhead, 1e-12);
+}
+
+TEST(Machine, StoreForwardSerializesSharedInteriorEdge) {
+  // Hypercube senders 5 (101) and 6 (110) both route to 0 through the
+  // final edge 4 -> 0; the receiver's ledger serializes them in
+  // (send_time, src, seq) order, so the second pays one full wire time of
+  // edge wait.
+  constexpr int kDoubles = 1000;
+  auto run = [](LinkContention mode) {
+    MachineConfig cfg;
+    cfg.recv_timeout_wall = 10.0;
+    cfg.topology = Topology::kHypercube;
+    cfg.link_contention = mode;
+    Machine m(8, cfg);
+    m.run([](Context& ctx) {
+      std::vector<double> v(kDoubles, 2.0);
+      if (ctx.rank() == 5 || ctx.rank() == 6) {
+        ctx.send_span<double>(0, 1, v);
+      } else if (ctx.rank() == 0) {
+        (void)ctx.recv_vec<double>(5, 1);
+        (void)ctx.recv_vec<double>(6, 1);
+      }
+    });
+    return m.stats();
+  };
+  MachineConfig cfg;
+  const double wire = kDoubles * 8 * cfg.byte_time;
+  const MachineStats off = run(LinkContention::kNone);
+  const MachineStats on = run(LinkContention::kStoreForward);
+  EXPECT_DOUBLE_EQ(off.edge_wait_time(), 0.0);
+  EXPECT_EQ(off.max_edge_load(), 0u);
+  EXPECT_NEAR(on.edge_wait_time(), wire, 1e-9);
+  EXPECT_EQ(on.contended_msgs(), 1u);
+  // Edge 4 -> 0 carried both messages; every other edge carried one.
+  EXPECT_EQ(on.max_edge_load(), 2u);
+  // Receiver clock: both are 2-hop messages entering at send_overhead;
+  // the queued one drains a third wire time after the first's arrival,
+  // hiding all but the final recv overhead.
+  const double arrival1 = cfg.send_overhead + cfg.latency + cfg.per_hop +
+                          2.0 * wire;
+  EXPECT_NEAR(on.clocks[0], arrival1 + wire + cfg.recv_overhead, 1e-9);
+}
+
+TEST(Machine, StoreForwardSelfSendStaysSoftware) {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  cfg.link_contention = LinkContention::kStoreForward;
+  Machine m(2, cfg);
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(0, 7, 11);
+      EXPECT_EQ(ctx.recv<int>(0, 7), 11);
+    }
+  });
+  // No edges were touched: a self-send never enters the network.
+  EXPECT_EQ(m.stats().max_edge_load(), 0u);
+  EXPECT_DOUBLE_EQ(m.stats().edge_wait_time(), 0.0);
+  const double expected = cfg.send_overhead + cfg.latency +
+                          sizeof(int) * cfg.byte_time + cfg.recv_overhead;
+  EXPECT_NEAR(m.stats().clocks[0], expected, 1e-12);
+}
+
+TEST(Machine, ResetStatsClearsEdgeState) {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  cfg.topology = Topology::kHypercube;
+  cfg.link_contention = LinkContention::kStoreForward;
+  Machine m(8, cfg);
+  auto traffic = [](Context& ctx) {
+    std::vector<double> v(500, 1.0);
+    if (ctx.rank() == 5 || ctx.rank() == 6) {
+      ctx.send_span<double>(0, 1, v);
+    } else if (ctx.rank() == 0) {
+      (void)ctx.recv_vec<double>(5, 1);
+      (void)ctx.recv_vec<double>(6, 1);
+    }
+  };
+  m.run(traffic);
+  EXPECT_GT(m.stats().edge_wait_time(), 0.0);
+  m.reset_stats();
+  EXPECT_DOUBLE_EQ(m.stats().edge_wait_time(), 0.0);
+  EXPECT_EQ(m.stats().max_edge_load(), 0u);
+  // Fresh run: identical contention as from a cold start, nothing leaks.
+  m.run(traffic);
+  const double wire = 500 * 8 * MachineConfig{}.byte_time;
+  EXPECT_NEAR(m.stats().edge_wait_time(), wire, 1e-9);
+}
+
+TEST(Machine, MailboxPeakDepthIsTracked) {
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < 5; ++k) {
+        ctx.send<int>(1, 1, k);
+      }
+      ctx.send<int>(1, 2, 99);  // barrier-ish: receiver drains after
+    } else {
+      (void)ctx.recv<int>(0, 2);
+      for (int k = 0; k < 5; ++k) {
+        EXPECT_EQ(ctx.recv<int>(0, 1), k);
+      }
+    }
+  });
+  // All five tag-1 sends plus the tag-2 send were queued before the first
+  // receive completed.
+  EXPECT_GE(m.stats().max_mailbox_depth(), 5u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().max_mailbox_depth(), 0u);
 }
 
 TEST(Machine, CausalityNoArrivalBeforeSendPlusWire) {

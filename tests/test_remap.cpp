@@ -244,6 +244,41 @@ TEST(Remap, ScheduledAndPeerOrderProduceIdenticalContents) {
   }
 }
 
+TEST(Remap, LockstepMatchesScheduledOnBothPaths) {
+  // Lockstep rounds must reproduce the scheduled results exactly on the
+  // box fast path and the cyclic (binned) fallback, with bounded mailbox
+  // depth.
+  const int p = 8;
+  auto run = [&](IssueOrder order, bool cyclic) {
+    Machine m(p, quiet_config());
+    std::vector<double> probe;
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid1(p);
+      DistArray1<double> fine(ctx, pv, {65},
+                              {cyclic ? DimDist::cyclic()
+                                      : DimDist::block_dist()});
+      DistArray1<double> coarse(ctx, pv, {33}, {DimDist::block_dist()});
+      fine.fill([](std::array<int, 1> g) { return 3.0 * g[0] + 1.0; });
+      copy_strided_dim(ctx, fine, coarse, 0, /*s_stride=*/2, /*s_off=*/0,
+                       /*d_stride=*/1, /*d_off=*/0, 33, order);
+      if (ctx.rank() == 1) {
+        coarse.for_each_owned(
+            [&](std::array<int, 1> g) { probe.push_back(coarse.at(g)); });
+      }
+    });
+    return std::pair{probe, m.stats()};
+  };
+  for (bool cyclic : {false, true}) {
+    SCOPED_TRACE(cyclic ? "binned path" : "box path");
+    const auto [sched, st_sched] = run(IssueOrder::kRoundSchedule, cyclic);
+    const auto [lock, st_lock] = run(IssueOrder::kLockstep, cyclic);
+    EXPECT_EQ(sched, lock);
+    EXPECT_EQ(st_sched.totals().msgs_sent, st_lock.totals().msgs_sent);
+    EXPECT_EQ(st_sched.totals().bytes_sent, st_lock.totals().bytes_sent);
+    EXPECT_LE(st_lock.max_mailbox_depth(), 4u);
+  }
+}
+
 TEST(Remap, ZeroStrideThrows) {
   // Both entry points validate arguments — the binned oracle included.
   Machine m(2, quiet_config());

@@ -69,6 +69,96 @@ TEST(Topology, SymmetricAndZeroOnDiagonal) {
 TEST(Topology, OutOfRangeRankThrows) {
   EXPECT_THROW(hop_count(Topology::kRing, 4, 0, 4), Error);
   EXPECT_THROW(hop_count(Topology::kRing, 4, -1, 0), Error);
+  EXPECT_THROW(route(Topology::kRing, 4, 0, 4), Error);
+  EXPECT_THROW(route(Topology::kRing, 4, -1, 0), Error);
+}
+
+TEST(Topology, MeshCoordIsExactInverse) {
+  // mesh_rows always divides nprocs, so every rank has a unique in-range
+  // coordinate: the old "fold ranks beyond rows*cols onto the last row"
+  // path was dead code.
+  for (int p : {1, 2, 3, 4, 6, 8, 9, 12, 15, 16}) {
+    const int rows = mesh_rows(p);
+    const int cols = p / rows;
+    ASSERT_EQ(rows * cols, p);
+    for (int r = 0; r < p; ++r) {
+      const auto [row, col] = mesh_coord(p, r);
+      EXPECT_GE(row, 0);
+      EXPECT_LT(row, rows);
+      EXPECT_GE(col, 0);
+      EXPECT_LT(col, cols);
+      EXPECT_EQ(row * cols + col, r);
+    }
+  }
+}
+
+TEST(Topology, RouteLengthMatchesHopCount) {
+  // route() is the path the store-and-forward model charges, so its length
+  // must agree with the hop metric for every pair, and every step must be
+  // a single hop.  (Incomplete hypercubes are excluded from the step check:
+  // their routes legitimately pass through absent node labels.)
+  for (Topology t : {Topology::kComplete, Topology::kRing, Topology::kMesh2D,
+                     Topology::kHypercube}) {
+    for (int p : {1, 2, 3, 4, 6, 8, 9, 16}) {
+      const bool pow2 = (p & (p - 1)) == 0;
+      if (t == Topology::kHypercube && !pow2) {
+        continue;
+      }
+      for (int a = 0; a < p; ++a) {
+        for (int b = 0; b < p; ++b) {
+          const std::vector<int> path = route(t, p, a, b);
+          ASSERT_EQ(static_cast<int>(path.size()), hop_count(t, p, a, b) + 1)
+              << "topology " << static_cast<int>(t) << " p=" << p;
+          EXPECT_EQ(path.front(), a);
+          EXPECT_EQ(path.back(), b);
+          if (a != b) {
+            EXPECT_EQ(first_hop(t, p, a, b), path[1]);
+          }
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            EXPECT_EQ(hop_count(t, p, path[i], path[i + 1]), 1);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, IncompleteHypercubeRoutesThroughLabelLattice) {
+  // Hamming hop counts for non-power-of-two sizes imply routes through
+  // labels that name no processor; the path length must still match.
+  const int p = 6;
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      const std::vector<int> path = route(Topology::kHypercube, p, a, b);
+      EXPECT_EQ(static_cast<int>(path.size()),
+                hop_count(Topology::kHypercube, p, a, b) + 1);
+    }
+  }
+  // 5 (101) -> 2 (010): LSB-first bit fixing passes through 4 (100) and
+  // 6 (110); 6 is not a processor but still identifies real links.
+  const std::vector<int> path = route(Topology::kHypercube, p, 5, 2);
+  EXPECT_EQ(path, (std::vector<int>{5, 4, 6, 2}));
+}
+
+TEST(Topology, MeshRoutesColumnFirst) {
+  // X-Y (dimension-ordered) routing on the 4x4 mesh: (1,3) -> (0,0) walks
+  // its row to column 0, then the column — rank ids 7, 6, 5, 4, 0.
+  EXPECT_EQ(route(Topology::kMesh2D, 16, 7, 0),
+            (std::vector<int>{7, 6, 5, 4, 0}));
+}
+
+TEST(Topology, RingRouteTakesShorterArcClockwiseOnTie) {
+  EXPECT_EQ(route(Topology::kRing, 8, 0, 2), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(route(Topology::kRing, 8, 0, 6), (std::vector<int>{0, 7, 6}));
+  // Tie at p/2 breaks clockwise (increasing ranks).
+  EXPECT_EQ(route(Topology::kRing, 8, 6, 2),
+            (std::vector<int>{6, 7, 0, 1, 2}));
+}
+
+TEST(Topology, EdgeIdIsInjective) {
+  EXPECT_NE(edge_id(0, 1), edge_id(1, 0));
+  EXPECT_NE(edge_id(2, 3), edge_id(3, 2));
+  EXPECT_EQ(edge_id(5, 7), edge_id(5, 7));
 }
 
 }  // namespace
