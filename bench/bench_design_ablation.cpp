@@ -1,8 +1,9 @@
 // E13 (extension) — ablations of this reproduction's own design choices
 // (DESIGN.md section 4), so the costs of each mechanism are on the record:
 //
-//  (a) halo exchange mode: one-round star-stencil faces (default) vs
-//      corner-filling dimension rounds (HaloCorners::kYes);
+//  (a) halo exchange mode: one-round star-stencil faces (default) vs the
+//      corner-filling scheduled exchange with diagonal peers
+//      (HaloCorners::kYes);
 //  (b) mg3 cycle shape: V(1,0) as in Listing 9 vs the W(1,1) default
 //      (gamma = 2 + post-smoothing) — convergence per simulated second;
 //  (c) inspector schedule reuse vs re-inspecting every sparse multiply.
@@ -135,13 +136,13 @@ int main() {
       t.add_row({"star faces, one round (default)", "64^2",
                  std::to_string(p * p),
                  fmt_time(halo_time(p, 64, HaloCorners::kNo, 5))});
-      t.add_row({"corner-filling dimension rounds", "64^2",
+      t.add_row({"corner-filling scheduled exchange", "64^2",
                  std::to_string(p * p),
                  fmt_time(halo_time(p, 64, HaloCorners::kYes, 5))});
     }
     t.print(std::cout);
-    std::cout << "the corner mode pays a second latency round — only worth it\n"
-              << "for 9-point-style stencils (none in this paper).\n\n";
+    std::cout << "the corner mode pays diagonal-peer messages on top of the faces\n"
+              << "— only worth it for 9-point-style stencils (none in this paper).\n\n";
   }
   {
     Table t({"mg3 cycle shape", "residual factor/cycle", "sim time/cycle",

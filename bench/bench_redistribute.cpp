@@ -21,6 +21,7 @@
 // to 16 bytes, so the raw-value slab protocol moves 4x fewer wire bytes.
 #include <cstdint>
 #include <iostream>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,71 @@ RunStats run1(int nprocs, int n, Dists1 sd, Dists1 dd, const RunMode& mode) {
 
 double ratio(double a, double b) { return b > 0.0 ? a / b : 0.0; }
 
+// ---------------------------------------------------------------------------
+// Halo / all-gather sweep: the two exchanges PR 5 routed through the round
+// schedule — corner-mode halo exchange (diagonal peers, one scheduled round
+// trip) and the collectives layer's all_gather — measured scheduled vs
+// naive issue order under both contention tiers.
+// ---------------------------------------------------------------------------
+
+/// One exchange measured under kPorts (hypercube) and kStoreForward (mesh),
+/// each scheduled vs naive issue order.
+struct SweepResult {
+  RunStats sched;
+  RunStats naive;
+  RunStats sf_sched;
+  RunStats sf_naive;
+};
+
+RunStats run_halo(int nprocs, int n, const RunMode& mode) {
+  int side = 1;
+  while ((side + 1) * (side + 1) <= nprocs) {
+    ++side;
+  }
+  KALI_CHECK(side * side == nprocs, "halo sweep needs a square rank count");
+  Machine m(nprocs, config_for(mode));
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(side, side);
+    DistArray2<float> a(ctx, pv, {n, n},
+                        {DimDist::block_dist(), DimDist::block_dist()},
+                        {1, 1});
+    a.fill([n](std::array<int, 2> g) {
+      return static_cast<float>(g[0] * n + g[1]);
+    });
+    a.exchange_halo(HaloCorners::kYes, mode.order);
+  });
+  return measure(m);
+}
+
+RunStats run_all_gather(int nprocs, int count, const RunMode& mode) {
+  Machine m(nprocs, config_for(mode));
+  m.run([&](Context& ctx) {
+    std::vector<int> ranks(static_cast<std::size_t>(nprocs));
+    std::iota(ranks.begin(), ranks.end(), 0);
+    Group g(std::move(ranks), ctx.rank());
+    std::vector<float> mine(static_cast<std::size_t>(count),
+                            static_cast<float>(ctx.rank()));
+    (void)all_gather(ctx, g, std::span<const float>(mine), mode.order);
+  });
+  return measure(m);
+}
+
+template <class RunFn>
+SweepResult sweep(RunFn run_fn) {
+  SweepResult r;
+  r.sched = run_fn(RunMode{Proto::kFast, LinkContention::kPorts,
+                           IssueOrder::kRoundSchedule, Topology::kHypercube});
+  r.naive = run_fn(RunMode{Proto::kFast, LinkContention::kPorts,
+                           IssueOrder::kPeerOrder, Topology::kHypercube});
+  r.sf_sched =
+      run_fn(RunMode{Proto::kFast, LinkContention::kStoreForward,
+                     IssueOrder::kRoundSchedule, Topology::kMesh2D});
+  r.sf_naive = run_fn(RunMode{Proto::kFast, LinkContention::kStoreForward,
+                              IssueOrder::kPeerOrder, Topology::kMesh2D});
+  return r;
+}
+
+
 void print_run(std::ostream& os, const char* key, const RunStats& r,
                const char* indent) {
   os << indent << "\"" << key << "\": {\"msgs\": " << r.msgs
@@ -126,7 +192,24 @@ void print_run(std::ostream& os, const char* key, const RunStats& r,
      << ", \"self_msgs\": " << r.self_msgs << "}";
 }
 
-void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
+void print_sweep(std::ostream& os, const SweepResult& r) {
+  os << "      \"ports\": {\n";
+  print_run(os, "scheduled", r.sched, "       ");
+  os << ",\n";
+  print_run(os, "naive_order", r.naive, "       ");
+  os << ",\n       \"schedule_speedup\": "
+     << ratio(r.naive.seconds, r.sched.seconds) << "\n      },\n"
+     << "      \"store_forward\": {\"topology\": \"mesh2d\",\n";
+  print_run(os, "scheduled", r.sf_sched, "       ");
+  os << ",\n";
+  print_run(os, "naive_order", r.sf_naive, "       ");
+  os << ",\n       \"schedule_speedup\": "
+     << ratio(r.sf_naive.seconds, r.sf_sched.seconds) << "\n      }";
+}
+
+void print_json(const std::vector<CaseResult>& results,
+                const SweepResult& halo, const SweepResult& ag, int p, int n,
+                int ag_elems, std::ostream& os) {
   os << "{\n"
      << "  \"bench\": \"bench_redistribute\",\n"
      << "  \"machine_model\": \"1989-hypercube (10 MFLOPS, ~100us latency, "
@@ -171,7 +254,19 @@ void print_json(const std::vector<CaseResult>& results, std::ostream& os) {
        << ratio(c.sf_naive.seconds, c.sf_sched.seconds)
        << "\n     }}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"halo_allgather\": {\n"
+     << "    \"halo_corner\": {\"nprocs\": " << p << ", \"extents\": [" << n
+     << ", " << n
+     << "], \"halo\": 1, \"mode\": \"HaloCorners::kYes (single scheduled "
+        "exchange, diagonal peers)\",\n";
+  print_sweep(os, halo);
+  os << "\n    },\n"
+     << "    \"all_gather\": {\"nprocs\": " << p
+     << ", \"elems_per_rank\": " << ag_elems
+     << ", \"mode\": \"collectives all_gather (dense pairwise rounds)\",\n";
+  print_sweep(os, ag);
+  os << "\n    }\n  }\n}\n";
 }
 
 }  // namespace
@@ -276,8 +371,17 @@ int main(int argc, char** argv) {
     results.push_back(c);
   }
 
+  // Halo / all-gather sweep: the exchanges routed through the round
+  // schedule in PR 5, same two contention tiers as the cases above.  The
+  // all_gather contribution matches the transpose's per-rank slab volume.
+  const int ag_elems = n * n / p;
+  const SweepResult halo =
+      sweep([&](const RunMode& mode) { return run_halo(p, n, mode); });
+  const SweepResult ag = sweep(
+      [&](const RunMode& mode) { return run_all_gather(p, ag_elems, mode); });
+
   if (json) {
-    print_json(results, std::cout);
+    print_json(results, halo, ag, p, n, ag_elems, std::cout);
     return 0;
   }
 
@@ -319,6 +423,28 @@ int main(int argc, char** argv) {
                     std::to_string(c.sf_naive.max_edge_load)});
   }
   ts.print(std::cout);
+  std::cout << "\ncorner-mode halo exchange and all_gather (scheduled vs "
+               "naive issue order):\n\n";
+  Table th({"exchange", "tier", "scheduled s", "naive-order s",
+            "schedule speedup", "self msgs"});
+  auto sweep_rows = [&](const char* name, const SweepResult& r) {
+    th.add_row({name, "ports", fmt(r.sched.seconds), fmt(r.naive.seconds),
+                fmt(ratio(r.naive.seconds, r.sched.seconds), 2),
+                std::to_string(r.sched.self_msgs)});
+    th.add_row({name, "store-forward", fmt(r.sf_sched.seconds),
+                fmt(r.sf_naive.seconds),
+                fmt(ratio(r.sf_naive.seconds, r.sf_sched.seconds), 2),
+                std::to_string(r.sf_sched.self_msgs)});
+  };
+  sweep_rows(("halo corners " + std::to_string(n) + "^2/" + std::to_string(p))
+                 .c_str(),
+             halo);
+  sweep_rows(("all_gather " + std::to_string(ag_elems) + "/" +
+              std::to_string(p))
+                 .c_str(),
+             ag);
+  th.print(std::cout);
+
   std::cout << "\nthe slab protocol must send no empty and no self messages\n"
             << "and, for the float transpose, move >= 4x fewer wire bytes\n"
             << "than the reference's padded {int64, float} packets; under\n"

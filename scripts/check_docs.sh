@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs consistency gate, run by the CI `docs` job and the `docs_check`
+# ctest entry:
+#   1. every relative markdown link in README.md and docs/*.md resolves;
+#   2. the reserved-tag table in docs/machine-model.md matches the
+#      constants actually defined in src/machine/message.hpp and
+#      src/machine/collectives.hpp — both directions, names and values.
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. relative markdown links must resolve --------------------------------
+for f in README.md docs/*.md; do
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    target=${target%%#*}            # drop anchors
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $f -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. reserved-tag registry drift -----------------------------------------
+doc=docs/machine-model.md
+headers="src/machine/message.hpp src/machine/collectives.hpp"
+table=$(sed -n '/BEGIN reserved-tag table/,/END reserved-tag table/p' "$doc")
+if [ -z "$table" ]; then
+  echo "TAG DRIFT: $doc lost its reserved-tag table markers"
+  fail=1
+fi
+
+# Forward: every constant defined in the headers appears in the doc's table
+# with the exact value expression from the source.
+for hdr in $headers; do
+  while IFS='|' read -r name value; do
+    row=$(printf '%s\n' "$table" | grep -F "\`$name\`")
+    if [ -z "$row" ]; then
+      echo "TAG DRIFT: $name ($hdr) missing from the table in $doc"
+      fail=1
+    elif ! printf '%s\n' "$row" | grep -qF "\`$value\`"; then
+      echo "TAG DRIFT: $name documented with a stale value in $doc ($hdr says: $value)"
+      fail=1
+    fi
+  done < <(sed -nE 's/^inline constexpr int (k[A-Za-z0-9_]+) = ([^;]+);.*/\1|\2/p' "$hdr")
+done
+
+# Reverse: every constant named in the doc's table exists in some header.
+while IFS= read -r name; do
+  if ! grep -qE "constexpr int $name =" $headers; then
+    echo "TAG DRIFT: $doc documents $name, which no header defines"
+    fail=1
+  fi
+done < <(printf '%s\n' "$table" | grep -oE '`k[A-Za-z0-9_]+`' | tr -d '`' | sort -u)
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK (links + reserved-tag registry)"
+fi
+exit $fail

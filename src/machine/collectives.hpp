@@ -16,7 +16,8 @@
 
 #include "machine/context.hpp"
 #include "machine/group.hpp"
-#include "machine/message.hpp"  // kCollectiveTagBase (reserved-tag registry)
+#include "machine/message.hpp"   // kCollectiveTagBase (reserved-tag registry)
+#include "machine/schedule.hpp"  // CommSchedule rounds for all_gather
 
 namespace kali {
 
@@ -26,6 +27,7 @@ inline constexpr int kTagGather = kCollectiveTagBase + 3;
 inline constexpr int kTagBarrierUp = kCollectiveTagBase + 4;
 inline constexpr int kTagBarrierDown = kCollectiveTagBase + 5;
 inline constexpr int kTagGatherCounts = kCollectiveTagBase + 6;
+inline constexpr int kTagAllGather = kCollectiveTagBase + 7;
 
 namespace detail {
 inline int tree_parent(int i) { return (i - 1) / 2; }
@@ -215,6 +217,68 @@ std::vector<T> gather(Context& ctx, const Group& g, int root_index,
                data.begin() + static_cast<std::ptrdiff_t>(offset[p + 1]));
   }
   return out;
+}
+
+/// All-gather variable-length contributions: every member returns the
+/// concatenation of all members' `mine` spans in group order.
+///
+/// Unlike the tree collectives above, this is a *dense pairwise exchange*
+/// (every ordered pair of members carries one message), so it is issued
+/// through the round-structured CommSchedule of machine/schedule.hpp: each
+/// round is a perfect matching, so under MachineConfig::link_contention no
+/// injection or ejection link is oversubscribed and the exchange completes
+/// in ~n-1 wire slots instead of the ~2(n-1) that rank-order issue costs.
+/// `order` selects the issue order (kPeerOrder is the naive rank-order
+/// baseline; kLockstep bounds in-flight mailbox memory to O(1) per port).
+/// No counts travel on the wire (messages are self-sizing) and no member
+/// ever sends to itself.
+template <class T>
+std::vector<T> all_gather(Context& ctx, const Group& g, std::span<const T> mine,
+                          IssueOrder order = IssueOrder::kRoundSchedule) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (g.size() == 1) {
+    return std::vector<T>(mine.begin(), mine.end());
+  }
+  // The schedule's communicator: the group's ranks, sorted so both
+  // endpoints of every transfer derive the same round numbering.
+  const std::vector<int> members = detail::union_members(g.ranks(), {});
+  // Per-peer segment slots, keyed by group index (= output order).
+  std::vector<std::vector<T>> segs(static_cast<std::size_t>(g.size()));
+  std::vector<std::pair<int, int>> out;  // (machine rank, peer group index)
+  std::vector<std::pair<int, int>> in;
+  out.reserve(static_cast<std::size_t>(g.size() - 1));
+  in.reserve(static_cast<std::size_t>(g.size() - 1));
+  for (int i = 0; i < g.size(); ++i) {
+    if (i == g.index()) {
+      continue;
+    }
+    out.emplace_back(g.rank_at(i), i);
+    in.emplace_back(g.rank_at(i), i);
+  }
+  double merged = static_cast<double>(mine.size());  // own segment copy
+  auto send_one = [&](int rank, int) {
+    // Contributions are sent as-is; no packing pass is needed.
+    ctx.send_span<T>(rank, kTagAllGather, mine);
+  };
+  auto recv_one = [&](int rank, int gi) {
+    auto& seg = segs[static_cast<std::size_t>(gi)];
+    seg = ctx.recv_vec<T>(rank, kTagAllGather);
+    merged += static_cast<double>(seg.size());
+  };
+  detail::issue_exchange(
+      members, ctx.rank(), order, out, in, send_one, recv_one, [] {},
+      [&] { ctx.compute(merged); });  // concatenation copy cost
+  segs[static_cast<std::size_t>(g.index())].assign(mine.begin(), mine.end());
+  std::vector<T> result;
+  std::size_t total = 0;
+  for (const auto& seg : segs) {
+    total += seg.size();
+  }
+  result.reserve(total);
+  for (const auto& seg : segs) {
+    result.insert(result.end(), seg.begin(), seg.end());
+  }
+  return result;
 }
 
 /// Align the simulated clocks of all members to their maximum (a barrier in

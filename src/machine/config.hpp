@@ -56,7 +56,7 @@ struct MachineConfig {
   // --- link contention ---
   /// Which parts of the interconnect serialize (see LinkContention).
   /// kPorts is the standard model under which round-structured all-to-all
-  /// schedules (each round a perfect matching, runtime/schedule.hpp) are
+  /// schedules (each round a perfect matching, machine/schedule.hpp) are
   /// optimal and naive per-peer issue order creates ejection-port hot
   /// spots; kStoreForward extends the queueing to every interior topology
   /// edge, where naive issue order additionally oversubscribes bisection

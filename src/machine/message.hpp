@@ -39,15 +39,22 @@ inline constexpr int kCollectiveTagBase = 1 << 24;
 
 // Runtime band allocations ---------------------------------------------------
 
-/// Halo exchange: 4 tags per array dimension (low/high faces × send
-/// direction), dims 0..2 — occupies [base, base + 12).
+/// Halo exchange, face mode (HaloCorners::kNo): 4 tags per array dimension
+/// (low/high faces × send direction), dims 0..2 — occupies [base, base + 12).
 inline constexpr int kTagHaloBase = kRuntimeTagBase;
 
 /// redistribute() slab/bin payloads (runtime/redistribute.hpp).
 inline constexpr int kTagRedistData = kRuntimeTagBase + 16;
 
-/// copy_strided_dim() packets (runtime/remap.hpp).
+/// copy_strided_dim() packets (runtime/remap.hpp), including the halo-fused
+/// variant copy_strided_dim_halo().
 inline constexpr int kTagRemap = kRuntimeTagBase + 17;
+
+/// Halo exchange, corner mode (HaloCorners::kYes): the single scheduled
+/// exchange tags each message with its direction vector delta in
+/// {-1, 0, +1}^R, indexed as sum over dims of (delta_d + 1) * 3^d — occupies
+/// [base, base + 27) for ranks up to 3.
+inline constexpr int kTagHaloCornerBase = kRuntimeTagBase + 32;
 
 /// A message in flight.  `send_time` is the sender's simulated clock at the
 /// moment the message entered the network (post injection queueing when

@@ -1,8 +1,9 @@
 // Round-structured communication schedules for all-to-all style exchanges
-// — the ordering layer between the redistribution engine (which computes
-// *what* travels between each rank pair) and the machine (which, with
-// MachineConfig::link_contention, serializes each node's injection and
-// ejection links).
+// — the ordering layer between the senders of dense exchanges (the
+// redistribution engine, the corner-mode halo exchange, the collectives
+// layer's all_gather — they compute *what* travels between each rank pair)
+// and the machine (which, with MachineConfig::link_contention, serializes
+// each node's injection and ejection links).
 //
 // A CommSchedule partitions the ordered rank pairs of an n-member
 // communicator into rounds, each round a perfect matching: every member
@@ -209,8 +210,9 @@ void lockstep_rounds(std::span<const int> members, int self_rank,
   }
 }
 
-/// The one issue-order dispatch shared by every runtime exchange
-/// (redistribute box/general, copy_strided_dim box/binned).  One-shot
+/// The one issue-order dispatch shared by every dense exchange
+/// (redistribute box/general, copy_strided_dim box/binned/halo-fused,
+/// corner-mode halo exchange, collectives all_gather).  One-shot
 /// orders sort and fire all sends, charge the pack compute, then drain all
 /// receives and charge the unpack compute — the exact operation sequence
 /// of the pre-lockstep implementations, so their clocks stay

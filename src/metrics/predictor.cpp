@@ -196,6 +196,45 @@ double Predictor::all_to_all_naive(int p, double bytes,
   return paced + exposed + (d - 1) * slab + alpha + (p - 1) * per_msg;
 }
 
+double Predictor::all_to_all_lockstep(int p, double bytes,
+                                      LinkContention model) const {
+  KALI_CHECK(p >= 1, "all_to_all: p must be positive");
+  if (p <= 1) {
+    return 0.0;
+  }
+  const double slab = bytes * cfg_.byte_time;
+  const double per_msg = cfg_.send_overhead + cfg_.recv_overhead;
+  // The busiest member's total hop count to all peers: lockstep exposes
+  // every round's latency, so the per-round hop terms accumulate instead of
+  // pipelining behind later sends.
+  int hop_sum = 0;
+  for (int i = 0; i < p; ++i) {
+    int s = 0;
+    for (int j = 0; j < p; ++j) {
+      if (j != i) {
+        s += hop_count(cfg_.topology, p, i, j);
+      }
+    }
+    hop_sum = std::max(hop_sum, s);
+  }
+  const double base = (p - 1) * (per_msg + cfg_.latency) +
+                      cfg_.per_hop * (hop_sum - (p - 1));
+  // Wire time: once per message at the ejection port (kNone and kPorts are
+  // indistinguishable in lockstep — ports are idle again by the time a
+  // member's next round begins), once per traversed edge for
+  // store-and-forward.
+  const double wire = model == LinkContention::kStoreForward
+                          ? hop_sum * slab
+                          : (p - 1) * slab;
+  return base + wire;
+}
+
+double Predictor::all_gather(int p, double bytes, LinkContention model) const {
+  // Wire-identical to the scheduled transpose: every ordered pair carries
+  // one `bytes` message through the same perfect-matching rounds.
+  return all_to_all(p, bytes, model);
+}
+
 double Predictor::adi_iteration(int n, int px, int py, bool pipelined) const {
   const int mx = n / std::max(px, 1);
   const int my = n / std::max(py, 1);

@@ -58,7 +58,7 @@ class Predictor {
   /// Wire-plus-overhead time of a complete exchange among p ranks where
   /// every ordered pair carries `bytes` — the fft2/ADI transpose shape
   /// redistribute() produces between (block, *) and (*, block) — issued
-  /// through the round-structured schedule of runtime/schedule.hpp.
+  /// through the round-structured schedule of machine/schedule.hpp.
   /// `model` mirrors MachineConfig::link_contention:
   ///  * kNone — slabs overlap on infinitely parallel links; only the last
   ///    slab's wire time is visible past the software overheads.
@@ -87,6 +87,30 @@ class Predictor {
   [[nodiscard]] double all_to_all_naive(
       int p, double bytes,
       LinkContention model = LinkContention::kPorts) const;
+
+  /// The same exchange issued in lockstep round order
+  /// (IssueOrder::kLockstep): each member sends to and then receives from
+  /// its round partner before advancing, so the per-round message latency
+  /// is *not* hidden behind the next round's sends — the price of the O(1)
+  /// mailbox bound.  The hop terms are exact: the busiest member pays the
+  /// sum of its hop counts to every peer (computed from the topology), one
+  /// wire time per message under kNone/kPorts and one per hop under
+  /// kStoreForward.  Valid for all three contention tiers (lockstep rounds
+  /// never queue: by the time a member reuses a port or edge, its clock has
+  /// already advanced past the busy window).
+  [[nodiscard]] double all_to_all_lockstep(int p, double bytes,
+                                           LinkContention model) const;
+
+  /// Wire-plus-overhead time of the round-scheduled all_gather collective
+  /// among p ranks, each contributing `bytes` (collectives.hpp all_gather):
+  /// every ordered pair carries one `bytes` message through the same
+  /// perfect-matching rounds as the transpose, so the closed forms coincide
+  /// with all_to_all for every contention tier; only the payload is
+  /// replicated rather than partitioned.  The receiver-side concatenation
+  /// compute (one op per gathered element) is excluded — add it via
+  /// flop_time when comparing against simulated makespans.
+  [[nodiscard]] double all_gather(int p, double bytes,
+                                  LinkContention model) const;
 
  private:
   [[nodiscard]] double ft() const { return cfg_.flop_time; }

@@ -16,14 +16,17 @@
 // and requires ownership; `A.at_halo(...)` additionally admits ghost cells.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "machine/collectives.hpp"
 #include "machine/context.hpp"
-#include "machine/message.hpp"  // kTagHaloBase (reserved-tag registry)
+#include "machine/message.hpp"   // kTagHaloBase (reserved-tag registry)
+#include "machine/schedule.hpp"  // corner-mode halo issues through rounds
 #include "runtime/distribution.hpp"
 #include "runtime/proc_view.hpp"
 
@@ -357,11 +360,21 @@ class DistArray {
   /// exactly the message pattern of the hand-coded Listing 2.  Sufficient
   /// for star-shaped stencils (all of the paper's algorithms).
   ///
-  /// HaloCorners::kYes: faces include the other dims' ghost margins and
-  /// dims are exchanged in order, so diagonal corner ghosts are valid
-  /// afterwards (needed for 9-point-style stencils) at the cost of
-  /// serializing the dimension rounds.
-  void exchange_halo(HaloCorners corners = HaloCorners::kNo) {
+  /// HaloCorners::kYes: diagonal corner ghosts are valid afterwards too
+  /// (needed for 9-point-style stencils).  One *single scheduled exchange*
+  /// whose peer list includes the diagonal grid neighbours: each direction
+  /// vector delta in {-1, 0, +1}^R names one ghost region, sourced straight
+  /// from the rank delta away (along the dims that have a neighbour; at a
+  /// domain boundary the same-coordinate rank's frame margin is sourced
+  /// instead, which is what the old serialized dimension rounds propagated
+  /// into the out-of-domain corners).  Cell contents are bit-identical to
+  /// the former per-dim implementation, but the messages now issue through
+  /// the round-structured CommSchedule (machine/schedule.hpp) in one round
+  /// trip instead of R serialized rounds — `order` selects the issue order
+  /// under link contention (kPeerOrder is the naive baseline, kLockstep
+  /// bounds mailbox depth).  `order` is ignored in face mode.
+  void exchange_halo(HaloCorners corners = HaloCorners::kNo,
+                     IssueOrder order = IssueOrder::kRoundSchedule) {
     if (!member_) {
       return;
     }
@@ -373,21 +386,16 @@ class DistArray {
       }
     }
     if (corners == HaloCorners::kYes) {
-      for (int d = 0; d < R; ++d) {
-        if (halo_[static_cast<std::size_t>(d)] > 0) {
-          exchange_dim_sends(d, /*wide=*/true);
-          exchange_dim_recvs(d, /*wide=*/true);
-        }
-      }
+      exchange_halo_corners(order);
     } else {
       for (int d = 0; d < R; ++d) {
         if (halo_[static_cast<std::size_t>(d)] > 0) {
-          exchange_dim_sends(d, /*wide=*/false);
+          exchange_dim_sends(d);
         }
       }
       for (int d = 0; d < R; ++d) {
         if (halo_[static_cast<std::size_t>(d)] > 0) {
-          exchange_dim_recvs(d, /*wide=*/false);
+          exchange_dim_recvs(d);
         }
       }
     }
@@ -590,29 +598,11 @@ class DistArray {
     }
   }
 
-  /// Visit the slab face of thickness `halo_[dim]` at `side` (0: low, 1:
-  /// high) — `owned_side` selects owned planes (to send) vs ghost planes
-  /// (to receive).  `wide` extends the face across the other dims' ghost
-  /// margins (corner-filling mode).
+  /// Visit every slab-relative coordinate in [lo, hi) (hi exclusive) in
+  /// row-major order; no-op when any extent is empty.
   template <class Fn>
-  void visit_face(int dim, int side, bool owned_side, bool wide, Fn fn) const {
-    const auto ud = static_cast<std::size_t>(dim);
-    const int h = halo_[ud];
+  static void visit_rel_box(const GIndex<R>& lo, const GIndex<R>& hi, Fn fn) {
     GIndex<R> rel{};
-    GIndex<R> lo{};
-    GIndex<R> hi{};
-    for (int d = 0; d < R; ++d) {
-      const auto sd = static_cast<std::size_t>(d);
-      lo[sd] = wide ? -halo_[sd] : 0;
-      hi[sd] = lcount_[sd] + (wide ? halo_[sd] : 0);
-    }
-    if (owned_side) {
-      lo[ud] = side == 0 ? 0 : lcount_[ud] - h;
-      hi[ud] = side == 0 ? h : lcount_[ud];
-    } else {
-      lo[ud] = side == 0 ? -h : lcount_[ud];
-      hi[ud] = side == 0 ? 0 : lcount_[ud] + h;
-    }
     for (int d = 0; d < R; ++d) {
       const auto sd = static_cast<std::size_t>(d);
       rel[sd] = lo[sd];
@@ -636,6 +626,31 @@ class DistArray {
     }
   }
 
+  /// Visit the slab face of thickness `halo_[dim]` at `side` (0: low, 1:
+  /// high) — `owned_side` selects owned planes (to send) vs ghost planes
+  /// (to receive).  Faces cover the owned extent of the other dims (the
+  /// HaloCorners::kNo message pattern).
+  template <class Fn>
+  void visit_face(int dim, int side, bool owned_side, Fn fn) const {
+    const auto ud = static_cast<std::size_t>(dim);
+    const int h = halo_[ud];
+    GIndex<R> lo{};
+    GIndex<R> hi{};
+    for (int d = 0; d < R; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      lo[sd] = 0;
+      hi[sd] = lcount_[sd];
+    }
+    if (owned_side) {
+      lo[ud] = side == 0 ? 0 : lcount_[ud] - h;
+      hi[ud] = side == 0 ? h : lcount_[ud];
+    } else {
+      lo[ud] = side == 0 ? -h : lcount_[ud];
+      hi[ud] = side == 0 ? 0 : lcount_[ud] + h;
+    }
+    visit_rel_box(lo, hi, fn);
+  }
+
   [[nodiscard]] int neighbor_rank(int dim, int delta) const {
     const auto ud = static_cast<std::size_t>(dim);
     const int pd = proc_dim_[ud];
@@ -648,7 +663,7 @@ class DistArray {
     return view_.rank_of(coord);
   }
 
-  void exchange_dim_sends(int d, bool wide) {
+  void exchange_dim_sends(int d) {
     const int tag_lo = kTagHaloBase + 4 * d;      // data travelling low->high
     const int tag_hi = kTagHaloBase + 4 * d + 1;  // data travelling high->low
     const int left = neighbor_rank(d, -1);
@@ -658,7 +673,7 @@ class DistArray {
     // Send owned low face to left neighbour, owned high face to right.
     if (left >= 0) {
       buf.clear();
-      visit_face(d, 0, /*owned_side=*/true, wide,
+      visit_face(d, 0, /*owned_side=*/true,
                  [&](const GIndex<R>& rel) {
                    buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
                  });
@@ -667,7 +682,7 @@ class DistArray {
     }
     if (right >= 0) {
       buf.clear();
-      visit_face(d, 1, /*owned_side=*/true, wide,
+      visit_face(d, 1, /*owned_side=*/true,
                  [&](const GIndex<R>& rel) {
                    buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
                  });
@@ -677,7 +692,7 @@ class DistArray {
     ctx_->compute(packed);  // pack cost, one op per element moved
   }
 
-  void exchange_dim_recvs(int d, bool wide) {
+  void exchange_dim_recvs(int d) {
     const int tag_lo = kTagHaloBase + 4 * d;
     const int tag_hi = kTagHaloBase + 4 * d + 1;
     const int left = neighbor_rank(d, -1);
@@ -686,7 +701,7 @@ class DistArray {
     if (left >= 0) {
       auto in = ctx_->recv_vec<T>(left, tag_lo);
       std::size_t k = 0;
-      visit_face(d, 0, /*owned_side=*/false, wide,
+      visit_face(d, 0, /*owned_side=*/false,
                  [&](const GIndex<R>& rel) {
                    (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
                  });
@@ -696,7 +711,7 @@ class DistArray {
     if (right >= 0) {
       auto in = ctx_->recv_vec<T>(right, tag_hi);
       std::size_t k = 0;
-      visit_face(d, 1, /*owned_side=*/false, wide,
+      visit_face(d, 1, /*owned_side=*/false,
                  [&](const GIndex<R>& rel) {
                    (*store_)[static_cast<std::size_t>(rel_flat(rel))] = in[k++];
                  });
@@ -704,6 +719,167 @@ class DistArray {
       packed += static_cast<double>(k);
     }
     ctx_->compute(packed);  // unpack cost
+  }
+
+  /// The HaloCorners::kYes implementation: one scheduled exchange over the
+  /// view covering every ghost region at once, diagonal neighbours
+  /// included.
+  ///
+  /// Each direction vector delta in {-1, 0, +1}^R (nonzero only on dims
+  /// with halo > 0) names one disjoint ghost region of the slab margin.
+  /// Split delta's nonzero dims by this member's grid position:
+  ///   E dims — a neighbour exists in that direction; the region's data is
+  ///            that side's *owned face* of the rank one step away,
+  ///   U dims — the domain boundary; the region lies outside the global
+  ///            index space and carries the *frame margin* of the rank at
+  ///            the same coordinate (the value the old serialized per-dim
+  ///            rounds propagated into out-of-domain corners).
+  /// The region's unique source is therefore the rank at coord + delta|E;
+  /// regions with E empty stay untouched (pure frame).  Senders enumerate
+  /// the same pairs from the other end: for each delta and each nonzero
+  /// dim, the receiver either sits at coord - delta_d (E, gets my owned
+  /// face) or at my own coordinate with no rank beyond it (U, gets my
+  /// frame margin) — every valid combination with at least one E choice is
+  /// a receiver.  Both ends tag messages with delta's base-3 code
+  /// (kTagHaloCornerBase) and issue through detail::issue_exchange, so the
+  /// whole exchange is one round-scheduled trip instead of R serialized
+  /// dimension rounds, and no member ever messages itself.
+  void exchange_halo_corners(IssueOrder order) {
+    struct Piece {
+      GIndex<R> lo{};  ///< slab-relative box, hi exclusive
+      GIndex<R> hi{};
+      int tag = 0;
+    };
+    std::vector<std::pair<int, Piece>> out;
+    std::vector<std::pair<int, Piece>> in;
+
+    int ncodes = 1;
+    for (int d = 0; d < R; ++d) {
+      ncodes *= 3;
+    }
+    std::array<int, UR> nz{};  // nonzero dims of the current delta
+    for (int code = 0; code < ncodes; ++code) {
+      GIndex<R> delta{};
+      int rest = code;
+      int nnz = 0;
+      bool eligible = true;
+      for (int d = 0; d < R; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        delta[ud] = rest % 3 - 1;
+        rest /= 3;
+        if (delta[ud] != 0) {
+          if (halo_[ud] == 0) {
+            eligible = false;
+            break;
+          }
+          nz[static_cast<std::size_t>(nnz++)] = d;
+        }
+      }
+      if (!eligible || nnz == 0) {
+        continue;
+      }
+      const int tag = kTagHaloCornerBase + code;
+
+      // Receive side: source = coord + delta along E dims.
+      {
+        auto coord = view_coord_;
+        bool any_e = false;
+        bool empty = false;
+        Piece p;
+        p.tag = tag;
+        for (int d = 0; d < R; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          if (delta[ud] == 0) {
+            p.lo[ud] = 0;
+            p.hi[ud] = lcount_[ud];
+            empty = empty || lcount_[ud] == 0;
+            continue;
+          }
+          const int h = halo_[ud];
+          p.lo[ud] = delta[ud] < 0 ? -h : lcount_[ud];
+          p.hi[ud] = delta[ud] < 0 ? 0 : lcount_[ud] + h;
+          if (neighbor_rank(d, delta[ud]) >= 0) {
+            any_e = true;
+            coord[static_cast<std::size_t>(proc_dim_[ud])] += delta[ud];
+          }
+        }
+        if (any_e && !empty) {
+          in.emplace_back(view_.rank_of(coord), p);
+        }
+      }
+
+      // Send side: every valid E/U choice combination with >= 1 E choice
+      // names one receiver pulling direction `delta` from this member.
+      for (int mask = 0; mask < (1 << nnz); ++mask) {
+        auto coord = view_coord_;
+        bool valid = true;
+        bool any_e = false;
+        bool empty = false;
+        Piece p;
+        p.tag = tag;
+        for (int d = 0; d < R; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          if (delta[ud] == 0) {
+            p.lo[ud] = 0;
+            p.hi[ud] = lcount_[ud];
+            empty = empty || lcount_[ud] == 0;
+          }
+        }
+        for (int b = 0; b < nnz && valid; ++b) {
+          const int d = nz[static_cast<std::size_t>(b)];
+          const auto ud = static_cast<std::size_t>(d);
+          const int h = halo_[ud];
+          if ((mask & (1 << b)) == 0) {
+            // E choice: receiver one step against delta; gets my owned face.
+            valid = neighbor_rank(d, -delta[ud]) >= 0;
+            coord[static_cast<std::size_t>(proc_dim_[ud])] -= delta[ud];
+            p.lo[ud] = delta[ud] > 0 ? 0 : lcount_[ud] - h;
+            p.hi[ud] = delta[ud] > 0 ? h : lcount_[ud];
+            any_e = true;
+          } else {
+            // U choice: receiver at my coordinate beside the domain
+            // boundary; gets my frame margin on delta's side.
+            valid = neighbor_rank(d, delta[ud]) < 0;
+            p.lo[ud] = delta[ud] > 0 ? lcount_[ud] : -h;
+            p.hi[ud] = delta[ud] > 0 ? lcount_[ud] + h : 0;
+          }
+        }
+        if (valid && any_e && !empty) {
+          out.emplace_back(view_.rank_of(coord), p);
+        }
+      }
+    }
+
+    std::vector<int> members = view_.ranks();
+    std::sort(members.begin(), members.end());
+    std::vector<T> buf;
+    double packed = 0;
+    double unpacked = 0;
+    auto send_one = [&](int rank, const Piece& p) {
+      buf.clear();
+      visit_rel_box(p.lo, p.hi, [&](const GIndex<R>& rel) {
+        buf.push_back((*store_)[static_cast<std::size_t>(rel_flat(rel))]);
+      });
+      ctx_->send_span<T>(rank, p.tag, std::span<const T>(buf));
+      packed += static_cast<double>(buf.size());
+    };
+    auto recv_one = [&](int rank, const Piece& p) {
+      auto vals = ctx_->recv_vec<T>(rank, p.tag);
+      std::size_t volume = 1;
+      for (int d = 0; d < R; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        volume *= static_cast<std::size_t>(p.hi[ud] - p.lo[ud]);
+      }
+      KALI_CHECK(vals.size() == volume, "corner halo size mismatch");
+      std::size_t k = 0;
+      visit_rel_box(p.lo, p.hi, [&](const GIndex<R>& rel) {
+        (*store_)[static_cast<std::size_t>(rel_flat(rel))] = vals[k++];
+      });
+      unpacked += static_cast<double>(k);
+    };
+    detail::issue_exchange(
+        members, ctx_->rank(), order, out, in, send_one, recv_one,
+        [&] { ctx_->compute(packed); }, [&] { ctx_->compute(unpacked); });
   }
 
   Context* ctx_ = nullptr;

@@ -40,25 +40,26 @@ std::int64_t linearize(const DistArray<T, R>& A,
   return f;
 }
 
-/// Collect the full global contents on the view's root member (linear index
-/// 0).  Returns the row-major array there; an empty vector elsewhere.
-/// Collective over the view.  Replicated (star) dims are contributed by all
-/// owners; values must agree (they do for coherently-written arrays).
+namespace detail {
+
+/// This member's owned elements as (linear index, value) packets — the
+/// contribution both collection helpers send.
 template <class T, int R>
-std::vector<T> gather_global(const DistArray<T, R>& A) {
-  if (!A.participating()) {
-    return {};
-  }
-  Context& ctx = A.context();
-  std::vector<detail::IdxVal<T>> mine;
+std::vector<IdxVal<T>> pack_owned(const DistArray<T, R>& A) {
+  std::vector<IdxVal<T>> mine;
   A.for_each_owned([&](GIndex<R> g) {
     mine.push_back({linearize(A, g), A.at(g)});
   });
-  Group grp = A.group();
-  auto all = gather(ctx, grp, 0, std::span<const detail::IdxVal<T>>(mine));
-  if (grp.index() != 0) {
-    return {};
-  }
+  return mine;
+}
+
+/// Scatter gathered (linear index, value) packets into a dense row-major
+/// global array.  Replicated (star) dims contribute duplicates; values must
+/// agree (they do for coherently-written arrays), so later packets simply
+/// overwrite earlier ones.
+template <class T, int R>
+std::vector<T> scatter_idxval(const DistArray<T, R>& A,
+                              const std::vector<IdxVal<T>>& all) {
   std::int64_t total = 1;
   for (int d = 0; d < R; ++d) {
     total *= A.extent(d);
@@ -70,20 +71,44 @@ std::vector<T> gather_global(const DistArray<T, R>& A) {
   return out;
 }
 
-/// Gather on root and broadcast so every member holds the full array.
+}  // namespace detail
+
+/// Collect the full global contents on the view's root member (linear index
+/// 0).  Returns the row-major array there; an empty vector elsewhere.
+/// Collective over the view.  Replicated (star) dims are contributed by all
+/// owners; values must agree (they do for coherently-written arrays).
 template <class T, int R>
-std::vector<T> gather_all(const DistArray<T, R>& A) {
-  std::vector<T> full = gather_global(A);
+std::vector<T> gather_global(const DistArray<T, R>& A) {
   if (!A.participating()) {
-    return full;
+    return {};
   }
-  std::int64_t total = 1;
-  for (int d = 0; d < R; ++d) {
-    total *= A.extent(d);
+  Context& ctx = A.context();
+  const std::vector<detail::IdxVal<T>> mine = detail::pack_owned(A);
+  Group grp = A.group();
+  auto all = gather(ctx, grp, 0, std::span<const detail::IdxVal<T>>(mine));
+  if (grp.index() != 0) {
+    return {};
   }
-  full.resize(static_cast<std::size_t>(total));
-  broadcast(A.context(), A.group(), 0, std::span<T>(full));
-  return full;
+  return detail::scatter_idxval(A, all);
+}
+
+/// Replicate the full global contents on every member.  Built on the
+/// round-scheduled all_gather collective (one dense pairwise exchange)
+/// rather than the old gather-to-root + broadcast ladder, so the root is
+/// never a serialization hot spot and, under link contention, every round
+/// is a perfect matching.
+template <class T, int R>
+std::vector<T> gather_all(const DistArray<T, R>& A,
+                          IssueOrder order = IssueOrder::kRoundSchedule) {
+  if (!A.participating()) {
+    return {};
+  }
+  Context& ctx = A.context();
+  const std::vector<detail::IdxVal<T>> mine = detail::pack_owned(A);
+  Group grp = A.group();
+  const auto all = all_gather(
+      ctx, grp, std::span<const detail::IdxVal<T>>(mine), order);
+  return detail::scatter_idxval(A, all);
 }
 
 }  // namespace kali

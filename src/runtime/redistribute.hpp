@@ -36,7 +36,7 @@
 // through.
 //
 // Remote messages are issued through the round-structured schedules of
-// runtime/schedule.hpp (XOR pairwise exchange for power-of-two
+// machine/schedule.hpp (XOR pairwise exchange for power-of-two
 // communicators, latin-square ordering otherwise), so each round is a
 // perfect matching over the union of the two views and, with
 // MachineConfig::link_contention, no injection or ejection link is
@@ -60,7 +60,7 @@
 #include "machine/message.hpp"  // kTagRedistData (reserved-tag registry)
 #include "runtime/dist_array.hpp"
 #include "runtime/io.hpp"  // linearize / delinearize
-#include "runtime/schedule.hpp"
+#include "machine/schedule.hpp"
 
 namespace kali {
 

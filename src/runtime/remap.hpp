@@ -18,7 +18,7 @@
 // order agree), so no per-element index metadata is needed.  A rank's
 // overlap with itself is copied locally, never sent
 // (MachineStats::self_msgs(kTagRemap) stays zero), and remote messages are
-// issued through the round-structured schedules of runtime/schedule.hpp.
+// issued through the round-structured schedules of machine/schedule.hpp.
 //
 // Two paths implement the protocol:
 //
@@ -69,15 +69,22 @@ inline TRange strided_steps(int glo, int ghi, int off, int stride, int tmax) {
   return r;
 }
 
-/// Visit every rank of box-eligible `A` whose owned set intersects the
-/// transfer set (`within`'s ranges on off-dims, steps `tr` through
-/// off + t * stride along `dim`), passing the rank, the off-dim overlap
-/// box, and the step subrange.  O(peers), like for_each_intersecting_peer;
-/// ranks whose block skips every strided step (stride larger than the
-/// block) are filtered out, identically on both endpoints.
+/// Shared peer-enumeration walker behind for_each_strided_peer and its
+/// halo-expanded variant.  Visits every rank of box-eligible `A` whose
+/// receive set intersects the transfer set (`within`'s ranges on off-dims,
+/// steps `tr` through off + t * stride along `dim`), passing the rank, the
+/// off-dim overlap box, and the step subrange.  O(peers), like
+/// for_each_intersecting_peer; ranks whose block skips every strided step
+/// (stride larger than the block) are filtered out, identically on both
+/// endpoints.  With `expand_halo`, each rank's receive set is its owned
+/// block expanded by A's halo margins and clipped to the global domain
+/// (one extra owner coordinate per side covers the expansion — the caller
+/// guarantees no halo is wider than a block); without it, exactly the
+/// owned blocks.
 template <class T, int R, class Fn>
-void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
-                           int dim, TRange tr, int off, int stride, Fn fn) {
+void strided_peer_walk(const DistArray<T, R>& A, const Box<R>& within,
+                       int dim, TRange tr, int off, int stride,
+                       bool expand_halo, Fn fn) {
   const int nd = A.view().ndims();
   std::array<int, kMaxProcDims> adim{};  // grid dim -> bound array dim
   for (int d = 0; d < R; ++d) {
@@ -98,6 +105,10 @@ void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
       clo[upd] = A.map(d).owner(within.lo[ud]);
       chi[upd] = A.map(d).owner(within.hi[ud]);
     }
+    if (expand_halo && A.halo(d) > 0) {  // expansion reaches one owner more
+      clo[upd] = std::max(0, clo[upd] - 1);
+      chi[upd] = std::min(A.view().extent(pd) - 1, chi[upd] + 1);
+    }
   }
   std::array<int, kMaxProcDims> c = clo;
   for (;;) {
@@ -107,16 +118,19 @@ void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
     for (int pd = 0; pd < nd && nonempty; ++pd) {
       const auto upd = static_cast<std::size_t>(pd);
       const int d = adim[upd];
+      const int h = expand_halo ? A.halo(d) : 0;
+      const int blo = std::max(0, A.map(d).block_lower(c[upd]) - h);
+      const int bhi =
+          std::min(A.extent(d) - 1, A.map(d).block_upper(c[upd]) + h);
       if (d == dim) {
-        t.lo = std::max(
-            t.lo, ceil_div(A.map(d).block_lower(c[upd]) - off, stride));
-        t.hi = std::min(
-            t.hi, floor_div(A.map(d).block_upper(c[upd]) - off, stride));
+        t.lo = std::max(t.lo, ceil_div(blo - off, stride));
+        t.hi = std::min(t.hi, floor_div(bhi - off, stride));
         nonempty = !t.empty();
       } else {
         const auto ud = static_cast<std::size_t>(d);
-        b.lo[ud] = std::max(within.lo[ud], A.map(d).block_lower(c[upd]));
-        b.hi[ud] = std::min(within.hi[ud], A.map(d).block_upper(c[upd]));
+        b.lo[ud] = std::max(within.lo[ud], blo);
+        b.hi[ud] = std::min(within.hi[ud], bhi);
+        nonempty = b.lo[ud] <= b.hi[ud];
       }
     }
     if (nonempty) {
@@ -136,6 +150,16 @@ void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
   }
 }
 
+/// Peer enumeration against each rank's owned blocks (the plain
+/// copy_strided_dim paths — an existing halo on A is storage margin, not
+/// part of the transfer).
+template <class T, int R, class Fn>
+void for_each_strided_peer(const DistArray<T, R>& A, const Box<R>& within,
+                           int dim, TRange tr, int off, int stride, Fn fn) {
+  strided_peer_walk(A, within, dim, tr, off, stride, /*expand_halo=*/false,
+                    fn);
+}
+
 /// Visit the slab (off-dim box `b`, steps [t.lo, t.hi]) in row-major order
 /// — the agreed wire order — passing global indices with dimension `dim`
 /// mapped through off + t * stride.
@@ -153,6 +177,19 @@ void for_each_strided_in_box(const Box<R>& b, TRange t, int dim, int off,
     g[ud] = off + g[ud] * stride;
     fn(g);
   });
+}
+
+/// Peer enumeration against each rank's owned block *expanded by A's halo
+/// margins* (clipped to the global domain) — the halo-fused remap, where a
+/// receiver's ghost cells arrive in the same messages as its owned cells.
+/// Requires every block of a halo dim to be at least as wide as the halo
+/// (checked by the caller).
+template <class T, int R, class Fn>
+void for_each_strided_peer_halo(const DistArray<T, R>& A, const Box<R>& within,
+                                int dim, TRange tr, int off, int stride,
+                                Fn fn) {
+  strided_peer_walk(A, within, dim, tr, off, stride, /*expand_halo=*/true,
+                    fn);
 }
 
 /// Shared argument validation for both copy_strided_dim implementations.
@@ -371,6 +408,140 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
     detail::for_each_strided_in_box(
         slab.b, slab.t, dim, d_off, d_stride,
         [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+    unpacked += static_cast<double>(k);
+  };
+  detail::issue_exchange(
+      members, ctx.rank(), order, out, in, send_one, recv_one,
+      [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
+}
+
+/// copy_strided_dim + dst.exchange_halo() fused into one scheduled exchange
+/// — the batched multigrid level switch.  Receive boxes are dst's owned box
+/// *expanded by its halo margins* (clipped to the global domain), so every
+/// ghost cell whose global index lies in the strided image arrives in the
+/// same messages as the owned cells: one redistribution per level switch
+/// instead of a remap round followed by a halo round, roughly halving the
+/// level-switch message count.
+///
+/// Semantics: identical to `copy_strided_dim(...); dst.exchange_halo();` on
+/// a freshly constructed dst (which is how multigrid uses it — mg2/mg3's
+/// interpolation temporaries).  Ghost cells *outside* the strided image are
+/// left untouched, where the separate halo exchange would copy the
+/// neighbour's current (for a fresh array: zero) values; out-of-domain
+/// frame cells are never written.  Requires block/star layouts on both
+/// arrays and halos no wider than dst's thinnest block.
+template <class T, int R>
+void copy_strided_dim_halo(Context& ctx, const DistArray<T, R>& src,
+                           DistArray<T, R>& dst, int dim, int s_stride,
+                           int s_off, int d_stride, int d_off, int count,
+                           IssueOrder order = IssueOrder::kRoundSchedule) {
+  const auto ud = static_cast<std::size_t>(dim);
+  detail::check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off,
+                             count);
+  KALI_CHECK(detail::box_eligible(src) && detail::box_eligible(dst),
+             "copy_strided_dim_halo: requires block/star layouts");
+  for (int d = 0; d < R; ++d) {
+    const int h = dst.halo(d);
+    if (h > 0) {
+      const int np = dst.view().extent(dst.proc_dim(d));
+      for (int c = 0; c < np; ++c) {
+        KALI_CHECK(dst.map(d).count(c) >= h,
+                   "copy_strided_dim_halo: halo wider than a block");
+      }
+    }
+  }
+  if (count == 0) {
+    return;
+  }
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (!in_src && !in_dst) {
+    return;
+  }
+  const std::vector<int> members =
+      detail::union_members(src.view().ranks(), dst.view().ranks());
+
+  // dst's receive region: owned box expanded by the halo margins, clipped
+  // to the domain (frame cells are never exchanged).
+  auto expanded_box = [&](const DistArray<T, R>& A) {
+    detail::Box<R> b = detail::owned_box(A);
+    for (int d = 0; d < R; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      b.lo[sd] = std::max(0, b.lo[sd] - A.halo(d));
+      b.hi[sd] = std::min(A.extent(d) - 1, b.hi[sd] + A.halo(d));
+    }
+    return b;
+  };
+
+  struct Slab {
+    detail::Box<R> b;  ///< off-dim overlap (dim slot unused)
+    detail::TRange t;  ///< transfer steps shared with the peer
+  };
+
+  std::vector<std::pair<int, Slab>> out;
+  std::vector<std::pair<int, Slab>> in;
+  double unpacked = 0;
+  if (in_src) {
+    const detail::Box<R> mine = detail::owned_box(src);
+    const detail::TRange tm = detail::strided_steps(
+        mine.lo[ud], mine.hi[ud], s_off, s_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      detail::for_each_strided_peer_halo(
+          dst, mine, dim, tm, d_off, d_stride,
+          [&](int rank, const detail::Box<R>& b, detail::TRange t) {
+            if (rank != ctx.rank()) {  // self-overlap copied on recv side
+              out.emplace_back(rank, Slab{b, t});
+            }
+          });
+    }
+  }
+  if (in_dst) {
+    const detail::Box<R> mine = expanded_box(dst);
+    const detail::TRange tm = detail::strided_steps(
+        mine.lo[ud], mine.hi[ud], d_off, d_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      detail::for_each_strided_peer(
+          src, mine, dim, tm, s_off, s_stride,
+          [&](int rank, const detail::Box<R>& b, detail::TRange t) {
+            if (rank == ctx.rank()) {
+              // Self-overlap: both owners are this rank — local copy
+              // (ghost targets included, written through frame()).
+              detail::for_each_strided_in_box(
+                  b, t, dim, 0, 1, [&](GIndex<R> g) {
+                    GIndex<R> gs = g;
+                    GIndex<R> gd = g;
+                    gs[ud] = s_off + g[ud] * s_stride;
+                    gd[ud] = d_off + g[ud] * d_stride;
+                    dst.frame(gd) = src.at(gs);
+                    unpacked += 1.0;
+                  });
+            } else {
+              in.emplace_back(rank, Slab{b, t});
+            }
+          });
+    }
+  }
+  std::vector<T> buf;
+  double packed = 0;
+  auto send_one = [&](int rank, const Slab& slab) {
+    buf.clear();
+    detail::for_each_strided_in_box(
+        slab.b, slab.t, dim, s_off, s_stride,
+        [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+    ctx.send_span<T>(rank, kTagRemap, std::span<const T>(buf));
+    packed += static_cast<double>(buf.size());
+  };
+  auto recv_one = [&](int rank, const Slab& slab) {
+    auto vals = ctx.recv_vec<T>(rank, kTagRemap);
+    detail::Box<R> e = slab.b;  // payload size check before unpacking
+    e.lo[ud] = slab.t.lo;
+    e.hi[ud] = slab.t.hi;
+    KALI_CHECK(vals.size() == static_cast<std::size_t>(e.volume()),
+               "copy_strided_dim_halo: slab size mismatch");
+    std::size_t k = 0;
+    detail::for_each_strided_in_box(
+        slab.b, slab.t, dim, d_off, d_stride,
+        [&](GIndex<R> g) { dst.frame(g) = vals[k++]; });
     unpacked += static_cast<double>(k);
   };
   detail::issue_exchange(

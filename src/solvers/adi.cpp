@@ -94,7 +94,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
     // y-line is a local Thomas sweep, transpose-redistribute to (*, block)
     // for the x-lines, then land back in (block, block).  All three
     // redistributions are box-intersection slab exchanges, issued through
-    // the round-structured schedule (runtime/schedule.hpp) with each
+    // the round-structured schedule (machine/schedule.hpp) with each
     // rank's self-overlap copied locally, never sent.
     const ProcView line = row_major_line(u.view());
     const typename D2::Dists row_dists{DimDist::block_dist(), DimDist::star()};

@@ -123,13 +123,13 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
     ProcView pv1 = ProcView::grid1(1, pv.rank_of1(0));
     const typename D2::Dists dists1{DimDist::star(), DimDist::block_dist()};
     D2 r1(ctx, pv1, {nx + 1, ny + 1}, dists1);
-    redistribute(ctx, r, r1);
+    redistribute(ctx, r, r1, opts.remap_order);
     D2 v1(ctx, pv1, {nx + 1, ny + 1}, dists1, {0, 1});
     if (v1.participating()) {
       mg2_cycle(op, v1, r1, opts);
     }
     D2 v(ctx, pv, {nx + 1, ny + 1}, dists);
-    redistribute(ctx, v1, v);
+    redistribute(ctx, v1, v, opts.remap_order);
     doall2(
         u, Range{1, nx - 1}, Range{1, ny - 1},
         [&](int i, int j) { u(i, j) += v(i, j); }, 1.0);
@@ -152,18 +152,27 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
       4.0);
   D2 g(ctx, pv, {nx + 1, nyc + 1}, dists);
   copy_strided_dim(ctx, gtmp, g, 1, /*s_stride=*/2, /*s_off=*/0,
-                   /*d_stride=*/1, /*d_off=*/0, nyc + 1);
+                   /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
 
   D2 v(ctx, pv, {nx + 1, nyc + 1}, dists, {0, 1});
   Op2 coarse = op;
   coarse.hy = 2.0 * op.hy;
   mg2_cycle(coarse, v, g, opts);
 
-  // intrp2: linear interpolation in y (Listing 10's 2-D analogue).
+  // intrp2: linear interpolation in y (Listing 10's 2-D analogue).  The
+  // fused path delivers vtmp's even-line ghosts in the remap messages
+  // themselves — one redistribution per level switch instead of a remap
+  // round plus a halo round.
   D2 vtmp(ctx, pv, {nx + 1, ny + 1}, dists, {0, 1});
-  copy_strided_dim(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
-                   /*d_stride=*/2, /*d_off=*/0, nyc + 1);
-  vtmp.exchange_halo();
+  if (opts.fused_level_remap) {
+    copy_strided_dim_halo(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
+                          /*d_stride=*/2, /*d_off=*/0, nyc + 1,
+                          opts.remap_order);
+  } else {
+    copy_strided_dim(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
+                     /*d_stride=*/2, /*d_off=*/0, nyc + 1, opts.remap_order);
+    vtmp.exchange_halo();
+  }
   doall2(
       u, Range{1, nx - 1}, Range{2, ny - 2, 2},
       [&](int i, int j) { u(i, j) += vtmp(i, j); }, 1.0);

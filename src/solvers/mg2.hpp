@@ -23,6 +23,16 @@ namespace kali {
 
 struct Mg2Options {
   int coarsest_sweeps = 4;  ///< extra zebra sweeps when recursion stops
+  /// Batch each level switch's interpolation remap and the following halo
+  /// exchange into one scheduled redistribution (copy_strided_dim_halo),
+  /// roughly halving the level-switch message count.  Off reproduces the
+  /// separate remap + halo rounds — bit-identical results either way (kept
+  /// for differential tests and benching).
+  bool fused_level_remap = true;
+  /// Issue order for level-switch remap/redistribute messages (all level
+  /// switches go through the CommSchedule rounds; kLockstep additionally
+  /// caps resident mailbox memory at depth).
+  IssueOrder remap_order = IssueOrder::kRoundSchedule;
 };
 
 /// One V-cycle on A u = f for the operator `op` (hx, hy are this level's

@@ -124,7 +124,7 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
     resid3(op, uin0, f, r);
     ProcView pvz = pv.sub(1, 0, 1);
     D3 r1(ctx, pvz, {nx + 1, ny + 1, nz + 1}, dists3);
-    redistribute(ctx, r, r1);
+    redistribute(ctx, r, r1, opts.remap_order);
     D3 v1(ctx, pvz, {nx + 1, ny + 1, nz + 1}, dists3, {0, 1, 1});
     if (v1.participating()) {
       for (int c = 0; c < opts.gamma; ++c) {
@@ -132,7 +132,7 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
       }
     }
     D3 v(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3);
-    redistribute(ctx, v1, v);
+    redistribute(ctx, v1, v, opts.remap_order);
     doall3(
         u, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1},
         [&](int i, int j, int k) { u(i, j, k) += v(i, j, k); }, 1.0);
@@ -154,7 +154,7 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
       4.0);
   D3 g(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3);
   copy_strided_dim(ctx, gtmp, g, 2, /*s_stride=*/2, /*s_off=*/0,
-                   /*d_stride=*/1, /*d_off=*/0, nzc + 1);
+                   /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
 
   D3 v(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3, {0, 1, 1});
   Op3 coarse = op;
@@ -163,11 +163,19 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
     mg3_cycle(coarse, v, g, opts);
   }
 
-  // intrp3 (Listing 10): modify even planes, then odd planes.
+  // intrp3 (Listing 10): modify even planes, then odd planes.  The fused
+  // path delivers vtmp's even-plane ghosts in the remap messages — one
+  // redistribution per level switch instead of remap + halo rounds.
   D3 vtmp(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3, {0, 0, 1});
-  copy_strided_dim(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
-                   /*d_stride=*/2, /*d_off=*/0, nzc + 1);
-  vtmp.exchange_halo();
+  if (opts.fused_level_remap) {
+    copy_strided_dim_halo(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
+                          /*d_stride=*/2, /*d_off=*/0, nzc + 1,
+                          opts.remap_order);
+  } else {
+    copy_strided_dim(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
+                     /*d_stride=*/2, /*d_off=*/0, nzc + 1, opts.remap_order);
+    vtmp.exchange_halo();
+  }
   doall3(
       u, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
       [&](int i, int j, int k) { u(i, j, k) += vtmp(i, j, k); }, 1.0);

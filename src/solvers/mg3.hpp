@@ -21,6 +21,11 @@ struct Mg3Options {
   int gamma = 1;           ///< coarse-grid visits per cycle (1 = V, 2 = W)
   bool post_zebra = true;  ///< zebra sweep after the coarse correction
   Mg2Options plane_mg2{};  ///< settings for the inner mg2
+  /// Batch each z-level switch's interpolation remap and the following halo
+  /// exchange into one scheduled redistribution (see Mg2Options).
+  bool fused_level_remap = true;
+  /// Issue order for level-switch remap/redistribute messages.
+  IssueOrder remap_order = IssueOrder::kRoundSchedule;
 };
 
 /// One V-cycle on A u = f.  Collective over u's 2-D view.

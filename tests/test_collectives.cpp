@@ -90,6 +90,66 @@ TEST_P(CollectivesP, GatherConcatenatesInGroupOrder) {
   });
 }
 
+TEST_P(CollectivesP, AllGatherConcatenatesEverywhere) {
+  const int p = GetParam();
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    // Member i contributes i+1 copies of its rank — variable lengths, no
+    // counts on the wire.
+    std::vector<int> mine(static_cast<std::size_t>(ctx.rank() + 1), ctx.rank());
+    auto all = all_gather(ctx, g, std::span<const int>(mine));
+    std::vector<int> expect;
+    for (int i = 0; i < p; ++i) {
+      expect.insert(expect.end(), static_cast<std::size_t>(i + 1), i);
+    }
+    EXPECT_EQ(all, expect);  // every member, not just a root
+  });
+  // A dense pairwise exchange: p(p-1) messages, none of them self-sends.
+  EXPECT_EQ(m.stats().totals().msgs_sent,
+            static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p - 1));
+  EXPECT_EQ(m.stats().self_msgs_total(), 0u);
+}
+
+TEST(Collectives, AllGatherIssueOrdersAgree) {
+  // Round schedule, naive peer order, and lockstep move the same payloads:
+  // identical results (only clocks may differ under contention).
+  for (IssueOrder order : {IssueOrder::kRoundSchedule, IssueOrder::kPeerOrder,
+                           IssueOrder::kLockstep}) {
+    SCOPED_TRACE(static_cast<int>(order));
+    MachineConfig cfg = quiet_config();
+    cfg.link_contention = LinkContention::kPorts;
+    Machine m(6, cfg);
+    m.run([&](Context& ctx) {
+      Group g = whole_machine(ctx);
+      std::vector<double> mine(3, 1.5 * ctx.rank());
+      auto all = all_gather(ctx, g, std::span<const double>(mine), order);
+      ASSERT_EQ(all.size(), 18u);
+      for (int i = 0; i < 6; ++i) {
+        for (int k = 0; k < 3; ++k) {
+          EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(3 * i + k)], 1.5 * i);
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllGatherOverStridedColumnViews) {
+  // Independent all_gathers on the strided column slices of a 2-D grid,
+  // running concurrently (the schedule communicator is the sorted member
+  // set, not a dense rank prefix).
+  Machine m(6, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid2(3, 2);  // columns {0,2,4} and {1,3,5}
+    const auto coord = *pv.coord_of(ctx.rank());
+    Group g = pv.fix(1, coord[1]).group(ctx.rank());
+    std::vector<int> mine{ctx.rank()};
+    auto all = all_gather(ctx, g, std::span<const int>(mine));
+    // Column jp holds ranks jp, jp+2, jp+4 in group order.
+    EXPECT_EQ(all, (std::vector<int>{coord[1], coord[1] + 2, coord[1] + 4}));
+  });
+}
+
 TEST_P(CollectivesP, BarrierCompletes) {
   const int p = GetParam();
   Machine m(p, quiet_config());

@@ -218,6 +218,164 @@ TEST(DistArray, HaloExchangeStarModeFillsEdgesInOneRound) {
   EXPECT_EQ(m.stats().totals().msgs_sent, 8u);
 }
 
+// Frame sentinel: a value unique per (writing rank, global position), so
+// tests can tell *whose* boundary frame a corner-mode exchange propagated.
+double frame_val(int rank, int i, int j) {
+  return 90000.0 + 1000.0 * rank + 20.0 * (i + 2) + (j + 2);
+}
+
+TEST(DistArray, CornerHaloMatchesDirectionOracle) {
+  // 3x3 grid, mixed halo widths, uneven blocks, frame sentinels.  After
+  // the single scheduled corner exchange, every margin cell must hold what
+  // the direction algebra prescribes: the owner's value for in-domain
+  // ghosts (diagonals included), the source rank's frame sentinel where
+  // the direction leaves the domain, and this rank's own untouched
+  // sentinel where no source exists — exactly what the old serialized
+  // per-dim wide rounds produced.
+  const int n0 = 13, n1 = 11;
+  Machine m(9, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(3, 3);
+    DistArray2<double> a(ctx, pv, {n0, n1},
+                         {DimDist::block_dist(), DimDist::block_dist()},
+                         {2, 1});
+    a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+    const int ilo = a.own_lower(0), ihi = a.own_upper(0);
+    const int jlo = a.own_lower(1), jhi = a.own_upper(1);
+    for (int i = ilo - 2; i <= ihi + 2; ++i) {
+      for (int j = jlo - 1; j <= jhi + 1; ++j) {
+        if (i < 0 || i >= n0 || j < 0 || j >= n1) {
+          a.frame({i, j}) = frame_val(ctx.rank(), i, j);
+        }
+      }
+    }
+    a.exchange_halo(HaloCorners::kYes);
+    const auto coord = *pv.coord_of(ctx.rank());
+    for (int i = ilo - 2; i <= ihi + 2; ++i) {
+      for (int j = jlo - 1; j <= jhi + 1; ++j) {
+        const int di = i < ilo ? -1 : (i > ihi ? 1 : 0);
+        const int dj = j < jlo ? -1 : (j > jhi ? 1 : 0);
+        if (di == 0 && dj == 0) {
+          continue;  // owned
+        }
+        auto qc = coord;
+        bool any_e = false;
+        if (di != 0 && coord[0] + di >= 0 && coord[0] + di < 3) {
+          qc[0] += di;
+          any_e = true;
+        }
+        if (dj != 0 && coord[1] + dj >= 0 && coord[1] + dj < 3) {
+          qc[1] += dj;
+          any_e = true;
+        }
+        const bool in_domain = i >= 0 && i < n0 && j >= 0 && j < n1;
+        double expect;
+        if (!any_e) {
+          expect = frame_val(ctx.rank(), i, j);  // pure frame: untouched
+        } else if (in_domain) {
+          expect = tag2(i, j);  // the diagonal/face owner's value
+        } else {
+          expect = frame_val(pv.rank_of(qc), i, j);  // source's frame
+        }
+        EXPECT_DOUBLE_EQ(a.at_halo({i, j}), expect) << i << "," << j;
+      }
+    }
+  });
+}
+
+TEST(DistArray, CornerHalo3DDiagonalGhostsValid) {
+  // The mg3 shape: (*, block, block) over a 2-D grid, halo on both
+  // distributed dims.  All in-domain ghosts — edges and corners across the
+  // two distributed dims, star dim replicated — must be valid after one
+  // scheduled exchange.
+  const int n = 8;
+  Machine m(4, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid2(2, 2);
+    DistArray3<double> a(
+        ctx, pv, {3, n, n},
+        {DimDist::star(), DimDist::block_dist(), DimDist::block_dist()},
+        {0, 1, 1});
+    a.fill([](std::array<int, 3> g) { return tag3(g[0], g[1], g[2]); });
+    a.exchange_halo(HaloCorners::kYes);
+    const int jlo = a.own_lower(1), jhi = a.own_upper(1);
+    const int klo = a.own_lower(2), khi = a.own_upper(2);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = std::max(0, jlo - 1); j <= std::min(n - 1, jhi + 1); ++j) {
+        for (int k = std::max(0, klo - 1); k <= std::min(n - 1, khi + 1); ++k) {
+          EXPECT_DOUBLE_EQ(a.at_halo({i, j, k}), tag3(i, j, k))
+              << i << "," << j << "," << k;
+        }
+      }
+    }
+  });
+}
+
+TEST(DistArray, CornerHaloNoSelfMessagesAnyOrder) {
+  for (IssueOrder order : {IssueOrder::kRoundSchedule, IssueOrder::kPeerOrder,
+                           IssueOrder::kLockstep}) {
+    SCOPED_TRACE(static_cast<int>(order));
+    Machine m(9, quiet_config());
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid2(3, 3);
+      DistArray2<double> a(ctx, pv, {12, 12},
+                           {DimDist::block_dist(), DimDist::block_dist()},
+                           {1, 1});
+      a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+      a.exchange_halo(HaloCorners::kYes, order);
+      const int ilo = a.own_lower(0), ihi = a.own_upper(0);
+      const int jlo = a.own_lower(1), jhi = a.own_upper(1);
+      for (int i = std::max(0, ilo - 1); i <= std::min(11, ihi + 1); ++i) {
+        for (int j = std::max(0, jlo - 1); j <= std::min(11, jhi + 1); ++j) {
+          EXPECT_DOUBLE_EQ(a.at_halo({i, j}), tag2(i, j)) << i << "," << j;
+        }
+      }
+    });
+    const MachineStats st = m.stats();
+    for (int t = 0; t < 12; ++t) {
+      EXPECT_EQ(st.self_msgs(kTagHaloBase + t), 0u);
+    }
+    for (int t = 0; t < 27; ++t) {
+      EXPECT_EQ(st.self_msgs(kTagHaloCornerBase + t), 0u);
+    }
+    EXPECT_EQ(st.self_msgs_total(), 0u);
+  }
+}
+
+TEST(DistArray, CornerHaloBitIdenticalUnderStoreForwardContention) {
+  // Repeated 16-thread contended runs must produce bit-identical clocks
+  // and bit-identical cell contents (the scheduled exchange inherits the
+  // machine model's determinism design).
+  auto run_once = [&]() {
+    MachineConfig cfg = quiet_config();
+    cfg.topology = Topology::kMesh2D;
+    cfg.link_contention = LinkContention::kStoreForward;
+    Machine m(16, cfg);
+    std::vector<std::vector<double>> slabs(16);
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid2(4, 4);
+      DistArray2<double> a(ctx, pv, {32, 32},
+                           {DimDist::block_dist(), DimDist::block_dist()},
+                           {1, 1});
+      a.fill([](std::array<int, 2> g) { return tag2(g[0], g[1]); });
+      a.exchange_halo(HaloCorners::kYes);
+      auto& s = slabs[static_cast<std::size_t>(ctx.rank())];
+      for (int i = a.own_lower(0) - 1; i <= a.own_upper(0) + 1; ++i) {
+        for (int j = a.own_lower(1) - 1; j <= a.own_upper(1) + 1; ++j) {
+          s.push_back(a.at_halo({i, j}));
+        }
+      }
+    });
+    return std::pair{m.stats().clocks, slabs};
+  };
+  const auto [clocks0, slabs0] = run_once();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto [clocks, slabs] = run_once();
+    EXPECT_EQ(clocks, clocks0) << "rep " << rep;  // exact, not approximate
+    EXPECT_EQ(slabs, slabs0) << "rep " << rep;
+  }
+}
+
 TEST(DistArray, CopyInSnapshotsOldValues) {
   Machine m(2, quiet_config());
   m.run([](Context& ctx) {

@@ -168,6 +168,54 @@ TEST(Mg2, HelmholtzShiftConverges) {
   });
 }
 
+TEST(Mg2, FusedLevelSwitchBitIdenticalWithFewerMessages) {
+  // The batched level switch (one scheduled redistribution per switch,
+  // copy_strided_dim_halo) must reproduce the separate remap + halo rounds
+  // bit for bit while cutting the cycle's message count.
+  const int nx = 32, ny = 32, p = 4;
+  auto run = [&](bool fused) {
+    Machine m(p, quiet_config());
+    std::vector<std::vector<double>> sol(static_cast<std::size_t>(p));
+    m.run([&](Context& ctx) {
+      ProcView pv = ProcView::grid1(p);
+      Op2 op = model_op(nx, ny);
+      auto [u, f] = make_problem(ctx, pv, op, nx, ny);
+      Mg2Options opts;
+      opts.fused_level_remap = fused;
+      for (int cyc = 0; cyc < 3; ++cyc) {
+        mg2_cycle(op, u, f, opts);
+      }
+      u.for_each_owned([&](std::array<int, 2> g) {
+        sol[static_cast<std::size_t>(ctx.rank())].push_back(u.at(g));
+      });
+    });
+    return std::pair{sol, m.stats().totals().msgs_sent};
+  };
+  const auto [sol_sep, msgs_sep] = run(false);
+  const auto [sol_fused, msgs_fused] = run(true);
+  EXPECT_EQ(sol_fused, sol_sep);     // bit-identical solutions
+  EXPECT_LT(msgs_fused, msgs_sep);   // batched switches send fewer messages
+}
+
+TEST(Mg2, LockstepLevelSwitchesConverge) {
+  // ROADMAP follow-up: level switches driven through IssueOrder::kLockstep
+  // (bounded mailbox depth) must converge identically.
+  const int nx = 16, ny = 16, p = 2;
+  Machine m(p, quiet_config());
+  m.run([&](Context& ctx) {
+    ProcView pv = ProcView::grid1(p);
+    Op2 op = model_op(nx, ny);
+    auto [u, f] = make_problem(ctx, pv, op, nx, ny);
+    Mg2Options opts;
+    opts.remap_order = IssueOrder::kLockstep;
+    const double r0 = mg2_residual_norm(op, u, f);
+    for (int cyc = 0; cyc < 6; ++cyc) {
+      mg2_cycle(op, u, f, opts);
+    }
+    EXPECT_LT(mg2_residual_norm(op, u, f), 1e-6 * r0);
+  });
+}
+
 TEST(Mg2, CoarsenableGuardsDegenerateBlocks) {
   EXPECT_FALSE(detail::coarsenable(9, 4));  // ceil-blocks 3,3,3,0: one idle
   EXPECT_FALSE(detail::coarsenable(9, 8));

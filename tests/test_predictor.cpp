@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "kernels/tri.hpp"
 #include "machine/context.hpp"
 #include "machine/measure.hpp"
@@ -253,6 +255,76 @@ TEST(Predictor, StoreForwardAllToAllTracksSimulator) {
     // order no worse than naive under store-and-forward.
     EXPECT_LT(pred_sched, pred_naive);
     EXPECT_LE(sim_sched, sim_naive);
+  }
+}
+
+TEST(Predictor, LockstepAllToAllTracksSimulator) {
+  // The lockstep pacing model (every round's latency exposed, hop terms
+  // summed exactly from the topology) must track the simulator within 30%
+  // in all three contention tiers.
+  const int n = 256, p = 8;
+  MachineConfig cfg = quiet_config();
+  Predictor pr(cfg, p);
+  const double slab_bytes = 8.0 * (n / p) * (n / p);
+  const double packing =
+      2.0 * (n / p) * static_cast<double>(n) * cfg.flop_time;
+  for (LinkContention tier :
+       {LinkContention::kNone, LinkContention::kPorts,
+        LinkContention::kStoreForward}) {
+    SCOPED_TRACE(static_cast<int>(tier));
+    const double pred = pr.all_to_all_lockstep(p, slab_bytes, tier) + packing;
+    const double sim = tier == LinkContention::kStoreForward
+                           ? sim_transpose_topo(n, p, Topology::kHypercube,
+                                                IssueOrder::kLockstep)
+                           : sim_transpose(n, p, tier, IssueOrder::kLockstep);
+    EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+        << "pred=" << pred << " sim=" << sim;
+  }
+  // And it must expose lockstep's per-round latency cost in the
+  // latency-dominated regime (small messages) — the price of the mailbox
+  // bound, which wire-dominated exchanges amortize away.
+  EXPECT_GT(pr.all_to_all_lockstep(p, 8.0, LinkContention::kPorts),
+            pr.all_to_all(p, 8.0, LinkContention::kPorts));
+}
+
+// Simulated makespan of the scheduled all_gather collective: p ranks each
+// contribute `count` doubles over the whole machine.
+double sim_all_gather(int count, int p, LinkContention contention,
+                      Topology topo) {
+  MachineConfig cfg = quiet_config();
+  cfg.link_contention = contention;
+  cfg.topology = topo;
+  Machine m(p, cfg);
+  m.run([&](Context& ctx) {
+    std::vector<int> ranks(static_cast<std::size_t>(p));
+    std::iota(ranks.begin(), ranks.end(), 0);
+    Group g(std::move(ranks), ctx.rank());
+    std::vector<double> mine(static_cast<std::size_t>(count),
+                             1.0 * ctx.rank());
+    (void)all_gather(ctx, g, std::span<const double>(mine));
+  });
+  return m.stats().max_clock();
+}
+
+TEST(Predictor, AllGatherTracksSimulatorInAllTiers) {
+  // The all_gather closed forms (wire-identical to the scheduled
+  // transpose) must track the collective's simulated makespan within 30%
+  // in every contention tier.  The concatenation compute (one op per
+  // gathered element on every member) is added here, as the header
+  // prescribes.
+  const int count = 8192, p = 8;
+  MachineConfig cfg = quiet_config();
+  Predictor pr(cfg, p);
+  const double bytes = 8.0 * count;
+  const double merge = static_cast<double>(p) * count * cfg.flop_time;
+  for (LinkContention tier :
+       {LinkContention::kNone, LinkContention::kPorts,
+        LinkContention::kStoreForward}) {
+    SCOPED_TRACE(static_cast<int>(tier));
+    const double pred = pr.all_gather(p, bytes, tier) + merge;
+    const double sim = sim_all_gather(count, p, tier, Topology::kHypercube);
+    EXPECT_LT(std::abs(pred - sim) / sim, 0.30)
+        << "pred=" << pred << " sim=" << sim;
   }
 }
 

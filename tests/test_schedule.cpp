@@ -2,7 +2,7 @@
 // member exchanges with at most one partner (involution), and across
 // rounds every ordered pair appears exactly once — the property that keeps
 // links conflict-free under MachineConfig::link_contention.
-#include "runtime/schedule.hpp"
+#include "machine/schedule.hpp"
 
 #include <gtest/gtest.h>
 
