@@ -154,7 +154,12 @@ RunStats run_halo(int nprocs, int n, const RunMode& mode) {
 }
 
 RunStats run_all_gather(int nprocs, int count, const RunMode& mode) {
-  Machine m(nprocs, config_for(mode));
+  MachineConfig cfg = config_for(mode);
+  // This sweep compares issue orders of the dense pairwise exchange; pin
+  // the dense path (and skip its size-agreement round) so the hybrid's
+  // tiny-payload tree never swaps the algorithm under the measurement.
+  cfg.allgather_tree_max_bytes = 0;
+  Machine m(nprocs, cfg);
   m.run([&](Context& ctx) {
     std::vector<int> ranks(static_cast<std::size_t>(nprocs));
     std::iota(ranks.begin(), ranks.end(), 0);

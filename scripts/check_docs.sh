@@ -4,7 +4,10 @@
 #   1. every relative markdown link in README.md and docs/*.md resolves;
 #   2. the reserved-tag table in docs/machine-model.md matches the
 #      constants actually defined in src/machine/message.hpp and
-#      src/machine/collectives.hpp — both directions, names and values.
+#      src/machine/collectives.hpp — both directions, names and values;
+#   3. docs/static-analysis.md documents exactly the rule ids the
+#      determinism linter implements (tools/lint_kali.py --list-rules)
+#      — both directions again.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -57,7 +60,33 @@ while IFS= read -r name; do
   fi
 done < <(printf '%s\n' "$table" | grep -oE '`k[A-Za-z0-9_]+`' | tr -d '`' | sort -u)
 
+# --- 3. determinism-lint rule drift -----------------------------------------
+lint_doc=docs/static-analysis.md
+rule_table=$(sed -n '/BEGIN lint-rule table/,/END lint-rule table/p' "$lint_doc")
+if [ -z "$rule_table" ]; then
+  echo "LINT DRIFT: $lint_doc lost its lint-rule table markers"
+  fail=1
+fi
+
+rules=$(python3 tools/lint_kali.py --list-rules)
+
+# Forward: every rule the linter implements is documented.
+while IFS= read -r rule; do
+  if ! printf '%s\n' "$rule_table" | grep -qF "\`$rule\`"; then
+    echo "LINT DRIFT: rule '$rule' (lint_kali.py) missing from $lint_doc"
+    fail=1
+  fi
+done <<< "$rules"
+
+# Reverse: every rule named in the doc's table exists in the linter.
+while IFS= read -r name; do
+  if ! printf '%s\n' "$rules" | grep -qxF "$name"; then
+    echo "LINT DRIFT: $lint_doc documents rule '$name', which lint_kali.py does not implement"
+    fail=1
+  fi
+done < <(printf '%s\n' "$rule_table" | grep -oE '^\| `[a-z-]+`' | sed -E 's/^\| `([a-z-]+)`/\1/' | sort -u)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK (links + reserved-tag registry)"
+  echo "docs check OK (links + reserved-tag registry + lint rules)"
 fi
 exit $fail

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Determinism lint gate: runs tools/lint_kali.py over src/ and then its
+# self-test over tools/lint_fixtures/.  Same entry points as the ctest
+# targets `lint_check` / `lint_selftest` and the CI `lint` job.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+python3 "${ROOT}/tools/lint_kali.py" --root "${ROOT}"
+python3 "${ROOT}/tools/lint_kali.py" --self-test --root "${ROOT}"

@@ -15,9 +15,9 @@ namespace {
 // Kernel-library band of the reserved-tag registry (machine/message.hpp),
 // distinct from tri's per-system tags (kTagTriBase + 2 * nsys): collisions
 // would need ~2^21 concurrently pipelined systems.
-constexpr int kTagCarry = (1 << 23) | (1 << 22);
-constexpr int kTagBack = kTagCarry + 1;
-constexpr int kTagScatter = kTagCarry + 2;
+constexpr int kTagCarry = kTagBaselineBase;
+constexpr int kTagBack = kTagBaselineBase + 1;
+constexpr int kTagScatter = kTagBaselineBase + 2;
 
 std::vector<double> to_vector(Strided<const double> s) {
   std::vector<double> v(static_cast<std::size_t>(s.n));

@@ -32,9 +32,8 @@
 
 namespace kali::detail {
 
-// Kernel-library tag band of the reserved-tag registry (machine/message.hpp);
-// per-system tags are kTagTriBase + 2 * sys_tag (+1).
-inline constexpr int kTagTriBase = 1 << 23;
+// Per-system tags are kTagTriBase + 2 * sys_tag (+1); the base itself is
+// registered in the kernel band of machine/message.hpp.
 static_assert(kTagTriBase >= kKernelTagBase && kTagTriBase < kCollectiveTagBase);
 inline constexpr double kSubstFlopsPerRow = 5.0;
 

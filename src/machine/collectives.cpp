@@ -35,8 +35,13 @@ double sync_clocks(Context& ctx, const Group& g) {
   // ledgers, and leaving them advanced would leak busy time into the next
   // measured phase under contention.
   const double aligned = allreduce_max(ctx, g, ctx.clock());
-  ctx.proc().set_clock(aligned);
+  ctx.proc().realign_clock(aligned);  // sanctioned pull-back: see Processor
   ctx.proc().clear_link_state();
+  // Invariant-mode bookkeeping: messages are stamped with the sender's
+  // barrier count so a message sent before this barrier and received after
+  // it is caught at the recv (see Message::epoch).  Bumped last, after the
+  // barrier's own allreduce traffic has fully drained on this member.
+  ctx.proc().bump_barrier_epoch();
   return aligned;
 }
 

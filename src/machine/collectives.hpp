@@ -219,25 +219,64 @@ std::vector<T> gather(Context& ctx, const Group& g, int root_index,
   return out;
 }
 
+namespace detail {
+
+/// Tree-structured all_gather for tiny payloads: gather everything to
+/// member 0 through the binary tree, then broadcast the total count and
+/// the concatenation back down.  O(log n) message latencies on the
+/// critical path versus the dense exchange's n-1 serialized rounds —
+/// the win for latency-bound payloads; for large ones the root's 2x
+/// bandwidth funnel loses, which is why the hybrid crossover exists.
+template <class T>
+std::vector<T> all_gather_tree(Context& ctx, const Group& g,
+                               std::span<const T> mine) {
+  std::vector<T> all = gather(ctx, g, 0, mine);
+  std::uint64_t total =
+      g.index() == 0 ? static_cast<std::uint64_t>(all.size()) : 0;
+  broadcast(ctx, g, 0, std::span<std::uint64_t>(&total, 1));
+  all.resize(static_cast<std::size_t>(total));
+  broadcast(ctx, g, 0, std::span<T>(all.data(), all.size()));
+  return all;
+}
+
+}  // namespace detail
+
 /// All-gather variable-length contributions: every member returns the
 /// concatenation of all members' `mine` spans in group order.
 ///
-/// Unlike the tree collectives above, this is a *dense pairwise exchange*
-/// (every ordered pair of members carries one message), so it is issued
-/// through the round-structured CommSchedule of machine/schedule.hpp: each
-/// round is a perfect matching, so under MachineConfig::link_contention no
-/// injection or ejection link is oversubscribed and the exchange completes
-/// in ~n-1 wire slots instead of the ~2(n-1) that rank-order issue costs.
-/// `order` selects the issue order (kPeerOrder is the naive rank-order
-/// baseline; kLockstep bounds in-flight mailbox memory to O(1) per port).
-/// No counts travel on the wire (messages are self-sizing) and no member
-/// ever sends to itself.
+/// A *hybrid* collective.  The default (bandwidth-bound) algorithm is a
+/// dense pairwise exchange (every ordered pair of members carries one
+/// message) issued through the round-structured CommSchedule of
+/// machine/schedule.hpp: each round is a perfect matching, so under
+/// MachineConfig::link_contention no injection or ejection link is
+/// oversubscribed and the exchange completes in ~n-1 wire slots instead of
+/// the ~2(n-1) that rank-order issue costs.  Tiny payloads (group-max
+/// contribution <= MachineConfig::allgather_tree_max_bytes, agreed by a
+/// scalar allreduce so every member deterministically picks the same
+/// algorithm) instead ride a binary gather + broadcast tree: O(n)
+/// messages instead of n(n-1), cutting the network load and aggregate
+/// overhead a quadratic message count costs when each payload fits in one
+/// packet (e.g. per-iteration residual norms) — at the price of the
+/// tree's deeper critical path.  Setting the crossover to 0 pins the
+/// dense path and skips the agreement round entirely.
+/// `order` selects the dense path's issue order (kPeerOrder is the naive
+/// rank-order baseline; kLockstep bounds in-flight mailbox memory to O(1)
+/// per port).  No counts travel on the wire (messages are self-sizing) and
+/// no member ever sends to itself, whichever algorithm runs.
 template <class T>
 std::vector<T> all_gather(Context& ctx, const Group& g, std::span<const T> mine,
                           IssueOrder order = IssueOrder::kRoundSchedule) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (g.size() == 1) {
     return std::vector<T>(mine.begin(), mine.end());
+  }
+  const std::size_t cutoff = ctx.config().allgather_tree_max_bytes;
+  if (cutoff > 0) {
+    const auto max_bytes = allreduce_max(
+        ctx, g, static_cast<std::uint64_t>(mine.size_bytes()));
+    if (max_bytes <= cutoff) {
+      return detail::all_gather_tree(ctx, g, mine);
+    }
   }
   // The schedule's communicator: the group's ranks, sorted so both
   // endpoints of every transfer derive the same round numbering.

@@ -8,6 +8,8 @@
 // hypercube node: ~10 MFLOPS, ~100 us message latency, ~2.5 MB/s links.
 #pragma once
 
+#include <cstddef>
+
 namespace kali {
 
 enum class Topology {
@@ -65,6 +67,21 @@ struct MachineConfig {
   LinkContention link_contention = LinkContention::kNone;
 
   Topology topology = Topology::kHypercube;
+
+  // --- collectives tuning ---
+  /// Hybrid all_gather crossover: when the group-maximum contribution is at
+  /// most this many bytes, all_gather rides a binary gather + broadcast
+  /// tree — O(P) messages instead of the dense exchange's P(P-1), so tiny
+  /// payloads (residual norms, measurement sweeps) stop paying a
+  /// quadratic message count for data that fits in one packet.  The tree
+  /// trades critical path for that load: its chained levels lose on
+  /// makespan, so bandwidth-bound payloads stay on the dense pairwise
+  /// rounds (where the tree would also funnel the whole result through a
+  /// root bottleneck).  Members agree on the algorithm via a scalar
+  /// allreduce of their contribution sizes.  0 disables the tree path
+  /// *and* the agreement round: pure dense rounds, bit-identical to the
+  /// pre-hybrid clocks.
+  std::size_t allgather_tree_max_bytes = 1024;
 
   // --- harness behaviour (not part of the cost model) ---
   /// Wall-clock seconds a blocking recv waits before failing.  This is a

@@ -22,6 +22,10 @@ void Context::charge_seconds(double seconds) {
 
 void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   KALI_CHECK(dst >= 0 && dst < nprocs(), "send: bad destination rank");
+  KALI_INVARIANT(is_registered_tag(tag),
+                 "send: tag " + std::to_string(tag) +
+                     " is not inside a registered band of the reserved-tag "
+                     "registry (machine/message.hpp)");
   auto& cnt = self_->counters();
   cnt.overhead_time += config().send_overhead;
   self_->set_clock(self_->clock() + config().send_overhead);
@@ -31,6 +35,7 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   m.tag = tag;
   m.send_time = self_->clock();
   m.seq = cnt.msgs_sent;
+  m.epoch = self_->barrier_epoch();
   m.payload.assign(data.begin(), data.end());
   const double wire =
       static_cast<double>(m.payload.size()) * config().byte_time;
@@ -83,6 +88,15 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
 
 Message Context::recv_message(int src, int tag) {
   Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall);
+  // A message sent before a sync_clocks barrier but received after it
+  // carries a pre-barrier timestamp into a phase whose clocks were aligned
+  // (and whose link state was cleared) at the barrier — silently poisoning
+  // the measurement.  Senders stamp their barrier count; it must match.
+  KALI_INVARIANT(m.epoch == self_->barrier_epoch(),
+                 "recv: message from rank " + std::to_string(m.src) +
+                     " illegally straddles a sync_clocks barrier (sent at "
+                     "epoch " + std::to_string(m.epoch) + ", received at " +
+                     std::to_string(self_->barrier_epoch()) + ")");
   auto& cnt = self_->counters();
   const double wire =
       static_cast<double>(m.size_bytes()) * config().byte_time;

@@ -29,8 +29,12 @@ std::optional<Message> Mailbox::try_pop_locked(int src, int tag) {
 
 Message Mailbox::recv(int src, int tag, double timeout_wall_seconds) {
   std::unique_lock<std::mutex> lk(mu_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+  // Deadlock guard on the host clock only: the deadline never feeds
+  // simulated clocks, payloads, or stats — a correct program never hits it.
+  // kali-lint: allow(wall-clock) — wall-clock timeout is the guard's point.
+  using WallClock = std::chrono::steady_clock;
+  const auto deadline = WallClock::now() +
+                        std::chrono::duration_cast<WallClock::duration>(
                             std::chrono::duration<double>(timeout_wall_seconds));
   for (;;) {
     if (aborted_) {

@@ -56,6 +56,51 @@ inline constexpr int kTagRemap = kRuntimeTagBase + 17;
 /// [base, base + 27) for ranks up to 3.
 inline constexpr int kTagHaloCornerBase = kRuntimeTagBase + 32;
 
+/// Inspector/executor gather (runtime/inspector.hpp): request-index lists.
+inline constexpr int kTagInspReq = kRuntimeTagBase + 64;
+
+/// Inspector/executor gather: executor value payloads.
+inline constexpr int kTagInspData = kRuntimeTagBase + 65;
+
+// Kernel band allocations --------------------------------------------------
+
+/// Pipelined tridiagonal solver (kernels/tri_pipeline.hpp): per-system
+/// pair/solution tags kTagTriBase + 2 * sys_tag (+1).
+inline constexpr int kTagTriBase = 1 << 23;
+
+/// Baseline kernels (kernels/baselines.cpp): carry/back/scatter tags —
+/// occupies [base, base + 3), at the three-quarter point of the kernel
+/// band, clear of tri_pipeline's parameterized block above kTagTriBase.
+inline constexpr int kTagBaselineBase = 3 << 22;
+
+/// True iff `tag` lies inside a registered band allocation.  The user band
+/// is free-form (application programs own it wholesale); the runtime band
+/// admits only the allocations registered above; the kernel band is owned
+/// by the kernel library (its allocations are parameterized, e.g. tri's
+/// per-system tags, so sub-band checking lives with the owners); the
+/// collectives band admits the kTagReduceUp..kTagAllGather block that
+/// collectives.hpp derives from kCollectiveTagBase.  Enforced at every
+/// send under the KALI_CHECK_INVARIANTS build mode.
+[[nodiscard]] inline bool is_registered_tag(int tag) {
+  if (tag < 0) {
+    return false;
+  }
+  if (tag < kRuntimeTagBase) {
+    return true;  // user band: application programs own it
+  }
+  if (tag < kKernelTagBase) {
+    return (tag >= kTagHaloBase && tag < kTagHaloBase + 12) ||
+           tag == kTagRedistData || tag == kTagRemap ||
+           (tag >= kTagHaloCornerBase && tag < kTagHaloCornerBase + 27) ||
+           tag == kTagInspReq || tag == kTagInspData;
+  }
+  if (tag < kCollectiveTagBase) {
+    return true;  // kernel band: parameterized allocations (tri sys tags)
+  }
+  // Collectives band: kTagReduceUp (base + 1) .. kTagAllGather (base + 7).
+  return tag >= kCollectiveTagBase + 1 && tag <= kCollectiveTagBase + 7;
+}
+
 /// A message in flight.  `send_time` is the sender's simulated clock at the
 /// moment the message entered the network (post injection queueing when
 /// link contention is on); the receiver uses it to advance its own clock
@@ -65,11 +110,16 @@ inline constexpr int kTagHaloCornerBase = kRuntimeTagBase + 32;
 /// shared interior edges — a deterministic key, unlike arrival order.  The
 /// path itself is not carried: routing is dimension-ordered (topology.hpp
 /// route()), so the receiver reconstructs it from (src, dst) alone.
+/// `epoch` counts the sync_clocks barriers the sender had passed at send
+/// time; the KALI_CHECK_INVARIANTS build rejects messages received on the
+/// far side of a barrier from where they were sent (such a straddler
+/// carries a pre-barrier timestamp into a freshly measured phase).
 struct Message {
   int src = -1;
   int tag = 0;
   double send_time = 0.0;
   std::uint64_t seq = 0;
+  std::uint32_t epoch = 0;
   std::vector<std::byte> payload;
 
   [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }

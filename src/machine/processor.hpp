@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "machine/mailbox.hpp"
+#include "support/check.hpp"
 
 namespace kali {
 
@@ -95,17 +96,47 @@ class Processor {
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] double clock() const { return clock_; }
-  void set_clock(double t) { clock_ = t; }
+  void set_clock(double t) {
+    KALI_INVARIANT(t >= clock_,
+                   "processor clock moved backwards within a phase");
+    clock_ = t;
+  }
+
+  /// Set the clock without the monotonicity guard.  The one sanctioned
+  /// backwards move: sync_clocks aligns every member to the maximum of
+  /// the clocks *at barrier entry*, excluding the barrier's own allreduce
+  /// traffic from the measurement — which may pull this member's clock
+  /// back below where that traffic advanced it.  Everything else must go
+  /// through set_clock.
+  void realign_clock(double t) { clock_ = t; }
 
   // Busy-until clocks of the two directed links attaching this node to the
   // network (LinkContention::kPorts).  The injection link is advanced by
   // this processor's own sends, the ejection link as it processes receives
   // — both only ever touched by the owning thread, which keeps contention
-  // resolution deterministic.
+  // resolution deterministic.  Within a phase the busy-until times only
+  // ever advance (clear_link_state resets them at barriers); a backwards
+  // move would let a later message overtake an earlier one on the port.
   [[nodiscard]] double out_link_free() const { return out_link_free_; }
-  void set_out_link_free(double t) { out_link_free_ = t; }
+  void set_out_link_free(double t) {
+    KALI_INVARIANT(t >= out_link_free_,
+                   "injection-port clock moved backwards within a phase");
+    out_link_free_ = t;
+  }
   [[nodiscard]] double in_link_free() const { return in_link_free_; }
-  void set_in_link_free(double t) { in_link_free_ = t; }
+  void set_in_link_free(double t) {
+    KALI_INVARIANT(t >= in_link_free_,
+                   "ejection-port clock moved backwards within a phase");
+    in_link_free_ = t;
+  }
+
+  // Count of sync_clocks barriers this processor has passed.  Messages are
+  // stamped with the sender's epoch; the KALI_CHECK_INVARIANTS build
+  // rejects receives whose stamp differs from the receiver's epoch (the
+  // message straddled a barrier, carrying a pre-barrier timestamp into the
+  // next measured phase — see Message::epoch).
+  [[nodiscard]] std::uint32_t barrier_epoch() const { return barrier_epoch_; }
+  void bump_barrier_epoch() { ++barrier_epoch_; }
 
   // --- store-and-forward state (LinkContention::kStoreForward) -----------
   //
@@ -156,6 +187,15 @@ class Processor {
         [&](const EdgeReservation& e, int) {
           return e.key_less(send_time, src, seq);
         });
+    // The ledger's total order is only total if keys never repeat: one
+    // reservation per (send_time, src, seq) per edge.  A duplicate means a
+    // message was resolved twice (or two messages share a sender sequence
+    // number) — either way the serialization order is no longer a pure
+    // function of the program.
+    KALI_INVARIANT(pos == ledger.end() || pos->send_time != send_time ||
+                       pos->src != src || pos->seq != seq,
+                   "edge ledger key (send_time, src, seq) not strictly "
+                   "ordered: duplicate reservation");
     const double busy_until =
         pos == ledger.begin() ? 0.0 : std::prev(pos)->prefix_max;
     const double start = std::max(t_in, busy_until);
@@ -190,11 +230,13 @@ class Processor {
     clock_ = 0.0;
     clear_link_state();
     counters_ = ProcCounters{};
+    barrier_epoch_ = 0;
     mailbox_.reset_peak();
   }
 
  private:
   int rank_;
+  std::uint32_t barrier_epoch_ = 0;  // sync_clocks count (own thread only)
   double clock_ = 0.0;  // simulated seconds; touched only by its own thread
   double out_link_free_ = 0.0;  // injection link busy-until (own thread only)
   double in_link_free_ = 0.0;   // ejection link busy-until (own thread only)

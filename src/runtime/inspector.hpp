@@ -6,18 +6,20 @@
 // scheme).  GatherPlan is that runtime code: an *inspector* pass records
 // which global indices each processor wants, builds a reusable
 // communication schedule, and the *executor* replays it cheaply every
-// iteration.
+// iteration.  Both passes are dense pairwise exchanges over the view's
+// ranks, so they issue through detail::issue_exchange like every other
+// dense exchange in the runtime (round-structured by default); their tags
+// are registered in the runtime band of machine/message.hpp.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "machine/schedule.hpp"
 #include "runtime/dist_array.hpp"
 
 namespace kali {
-
-inline constexpr int kTagInspReq = (1 << 22);
-inline constexpr int kTagInspData = (1 << 22) + 1;
 
 class GatherPlan {
  public:
@@ -26,7 +28,8 @@ class GatherPlan {
   /// Inspector: collective over A's view.  `wants` lists the global indices
   /// this member will read (duplicates allowed, any order).
   template <class T>
-  static GatherPlan build(const DistArray1<T>& A, std::span<const int> wants) {
+  static GatherPlan build(const DistArray1<T>& A, std::span<const int> wants,
+                          IssueOrder order = IssueOrder::kRoundSchedule) {
     GatherPlan plan;
     if (!A.participating()) {
       return plan;
@@ -50,22 +53,30 @@ class GatherPlan {
     }
     ctx.compute(static_cast<double>(wants.size()));  // inspector index math
 
-    // Exchange request lists pairwise (self handled locally).
-    for (std::size_t pi = 0; pi < np; ++pi) {
-      if (plan.peers_[pi] == plan.self_rank_) {
-        continue;
-      }
-      ctx.send_span<int>(plan.peers_[pi], kTagInspReq,
-                         std::span<const int>(requests[pi]));
-    }
+    // Exchange request lists pairwise (self handled locally), issued
+    // through the shared schedule dispatch.
     plan.send_indices_.assign(np, {});
+    const std::vector<int> members = detail::union_members(plan.peers_, {});
+    std::vector<std::pair<int, std::size_t>> out;
+    std::vector<std::pair<int, std::size_t>> in;
     for (std::size_t pi = 0; pi < np; ++pi) {
       if (plan.peers_[pi] == plan.self_rank_) {
         plan.send_indices_[pi] = requests[pi];  // local "sends" to myself
-      } else {
-        plan.send_indices_[pi] = ctx.recv_vec<int>(plan.peers_[pi], kTagInspReq);
+        continue;
       }
+      out.emplace_back(plan.peers_[pi], pi);
+      in.emplace_back(plan.peers_[pi], pi);
     }
+    auto send_one = [&](int rank, std::size_t pi) {
+      ctx.send_span<int>(rank, kTagInspReq,
+                         std::span<const int>(requests[pi]));
+    };
+    auto recv_one = [&](int rank, std::size_t pi) {
+      plan.send_indices_[pi] = ctx.recv_vec<int>(rank, kTagInspReq);
+    };
+    detail::issue_exchange(
+        members, plan.self_rank_, order, out, in, send_one, recv_one, [] {},
+        [] {});
     plan.recv_slots_ = std::move(slots);
     return plan;
   }
@@ -74,42 +85,61 @@ class GatherPlan {
   /// to wants[i] of the inspector call.  Reusable across iterations as long
   /// as A's distribution is unchanged (values may change freely).
   template <class T>
-  std::vector<T> execute(const DistArray1<T>& A) const {
-    std::vector<T> out(n_wants_);
+  std::vector<T> execute(const DistArray1<T>& A,
+                         IssueOrder order = IssueOrder::kRoundSchedule) const {
+    std::vector<T> result(n_wants_);
     if (!A.participating()) {
-      return out;
+      return result;
     }
     Context& ctx = A.context();
     const std::size_t np = peers_.size();
-    std::vector<T> buf;
+
+    // Self-requests are local copies, charged like a peer unpack.
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      if (peers_[pi] != self_rank_) {
+        continue;
+      }
+      const auto& spots = recv_slots_[pi];
+      for (std::size_t k = 0; k < spots.size(); ++k) {
+        result[spots[k]] = A.at({send_indices_[pi][k]});
+      }
+      ctx.compute(static_cast<double>(spots.size()));
+    }
+
+    const std::vector<int> members = detail::union_members(peers_, {});
+    std::vector<std::pair<int, std::size_t>> out;
+    std::vector<std::pair<int, std::size_t>> in;
     for (std::size_t pi = 0; pi < np; ++pi) {
       if (peers_[pi] == self_rank_) {
         continue;
       }
+      out.emplace_back(peers_[pi], pi);
+      in.emplace_back(peers_[pi], pi);
+    }
+    std::vector<T> buf;
+    double packed = 0;
+    double unpacked = 0;
+    auto send_one = [&](int rank, std::size_t pi) {
       buf.clear();
       for (int g : send_indices_[pi]) {
         buf.push_back(A.at({g}));
       }
-      ctx.send_span<T>(peers_[pi], kTagInspData, std::span<const T>(buf));
-      ctx.compute(static_cast<double>(buf.size()));
-    }
-    for (std::size_t pi = 0; pi < np; ++pi) {
+      ctx.send_span<T>(rank, kTagInspData, std::span<const T>(buf));
+      packed += static_cast<double>(buf.size());
+    };
+    auto recv_one = [&](int rank, std::size_t pi) {
+      auto vals = ctx.recv_vec<T>(rank, kTagInspData);
       const auto& spots = recv_slots_[pi];
-      if (peers_[pi] == self_rank_) {
-        for (std::size_t k = 0; k < spots.size(); ++k) {
-          out[spots[k]] = A.at({send_indices_[pi][k]});
-        }
-        ctx.compute(static_cast<double>(spots.size()));
-        continue;
-      }
-      auto vals = ctx.recv_vec<T>(peers_[pi], kTagInspData);
       KALI_CHECK(vals.size() == spots.size(), "executor size mismatch");
       for (std::size_t k = 0; k < spots.size(); ++k) {
-        out[spots[k]] = vals[k];
+        result[spots[k]] = vals[k];
       }
-      ctx.compute(static_cast<double>(spots.size()));
-    }
-    return out;
+      unpacked += static_cast<double>(spots.size());
+    };
+    detail::issue_exchange(
+        members, self_rank_, order, out, in, send_one, recv_one,
+        [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
+    return result;
   }
 
   [[nodiscard]] std::size_t want_count() const { return n_wants_; }

@@ -422,6 +422,9 @@ void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
         self_pkts = std::move(outgoing[pi]);
         continue;
       }
+      // kali-lint: allow(raw-exchange) — redistribute_reference is the
+      // deliberately-naive all-pairs oracle/baseline; scheduling it would
+      // destroy the very behaviour the differential tests benchmark.
       ctx.send_span<Packet>(peers[pi], kTagRedistData,
                             std::span<const Packet>(outgoing[pi]));
     }
@@ -442,6 +445,7 @@ void redistribute_reference(Context& ctx, const DistArray<T, R>& src,
         ctx.compute(static_cast<double>(self_pkts.size()));
         continue;
       }
+      // kali-lint: allow(raw-exchange) — reference-oracle receive (above).
       auto pkts = ctx.recv_vec<Packet>(srank, kTagRedistData);
       for (const auto& p : pkts) {
         dst.at(detail::delinearize<R>(p.idx, ext)) = p.val;

@@ -32,3 +32,18 @@ namespace detail {
 
 /// Unconditional failure.
 #define KALI_FAIL(msg) ::kali::detail::check_failed("<fail>", __FILE__, __LINE__, (msg))
+
+/// Debug invariant check at the machine layer's determinism choke points
+/// (ledger key ordering, clock monotonicity, tag-band registration,
+/// barrier-straddling messages).  Compiled to a KALI_CHECK under the
+/// KALI_CHECK_INVARIANTS build mode (cmake -DKALI_CHECK_INVARIANTS=ON);
+/// a no-op otherwise, so the release hot paths pay nothing.  The condition
+/// must be side-effect free: it is not evaluated in release builds.
+#if defined(KALI_CHECK_INVARIANTS)
+#define KALI_INVARIANT(cond, msg) KALI_CHECK(cond, msg)
+#else
+#define KALI_INVARIANT(cond, msg)      \
+  do {                                 \
+    (void)sizeof((cond) ? 1 : 0);      \
+  } while (0)
+#endif

@@ -1,0 +1,180 @@
+// Death/regression tests for the KALI_CHECK_INVARIANTS build mode: each
+// machine-layer invariant must actually fire on the violation it guards
+// against, and must stay silent on legal programs.  Built without
+// -DKALI_CHECK_INVARIANTS=ON the checks compile to no-ops, so every death
+// test skips itself (the regression tests still run).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "machine/collectives.hpp"
+#include "machine/context.hpp"
+#include "machine/machine.hpp"
+#include "machine/message.hpp"
+#include "machine/processor.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+#if defined(KALI_CHECK_INVARIANTS)
+constexpr bool kInvariantsOn = true;
+#else
+constexpr bool kInvariantsOn = false;
+#endif
+
+#define SKIP_WITHOUT_INVARIANTS()                                   \
+  do {                                                              \
+    if (!kInvariantsOn) {                                           \
+      GTEST_SKIP() << "built without -DKALI_CHECK_INVARIANTS=ON";   \
+    }                                                               \
+  } while (0)
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;
+  return cfg;
+}
+
+Group whole_machine(Context& ctx) {
+  std::vector<int> ranks(static_cast<std::size_t>(ctx.nprocs()));
+  for (int r = 0; r < ctx.nprocs(); ++r) {
+    ranks[static_cast<std::size_t>(r)] = r;
+  }
+  return Group(ranks, ctx.rank());
+}
+
+// --- clock monotonicity ----------------------------------------------------
+
+TEST(Invariants, ProcessorClockMayNotMoveBackwards) {
+  SKIP_WITHOUT_INVARIANTS();
+  Processor p(0);
+  p.set_clock(5.0);
+  p.set_clock(5.0);  // equal is legal (zero-cost events)
+  EXPECT_THROW(p.set_clock(4.0), Error);
+}
+
+TEST(Invariants, PortClocksMayNotMoveBackwards) {
+  SKIP_WITHOUT_INVARIANTS();
+  Processor p(0);
+  p.set_out_link_free(3.0);
+  EXPECT_THROW(p.set_out_link_free(2.0), Error);
+  p.set_in_link_free(3.0);
+  EXPECT_THROW(p.set_in_link_free(2.0), Error);
+}
+
+TEST(Invariants, PortClocksResetLegallyAtBarriers) {
+  // clear_link_state (the sync_clocks barrier) is the sanctioned reset:
+  // it bypasses the monotonicity guard by design.
+  Processor p(0);
+  p.set_out_link_free(3.0);
+  p.set_in_link_free(3.0);
+  p.clear_link_state();
+  EXPECT_EQ(p.out_link_free(), 0.0);
+  EXPECT_EQ(p.in_link_free(), 0.0);
+  p.set_out_link_free(1.0);  // and the guard re-arms from zero
+}
+
+// --- edge ledger key discipline --------------------------------------------
+
+TEST(Invariants, EdgeLedgerRejectsDuplicateKeys) {
+  SKIP_WITHOUT_INVARIANTS();
+  Processor p(0);
+  p.reserve_edge(/*edge=*/7, /*send_time=*/1.0, /*src=*/2, /*seq=*/5,
+                 /*t_in=*/1.0, /*wire=*/0.5);
+  // Distinct keys on the same edge are fine, in any component.
+  p.reserve_edge(7, 1.0, 2, 6, 1.5, 0.5);
+  p.reserve_edge(7, 1.0, 3, 5, 1.5, 0.5);
+  p.reserve_edge(7, 2.0, 2, 5, 2.0, 0.5);
+  // Re-reserving an identical (send_time, src, seq) key is a resolved-twice
+  // message: the serialization total order would no longer be total.
+  EXPECT_THROW(p.reserve_edge(7, 1.0, 2, 5, 3.0, 0.5), Error);
+  // The same key on a *different* edge is a different resource: legal.
+  p.reserve_edge(8, 1.0, 2, 5, 1.0, 0.5);
+}
+
+// --- tag-band registration at send -----------------------------------------
+
+TEST(Invariants, SendRejectsUnregisteredRuntimeBandTag) {
+  SKIP_WITHOUT_INVARIANTS();
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([&](Context& ctx) {
+                 if (ctx.rank() == 0) {
+                   // Inside the runtime band but in no registered slot.
+                   ctx.send(1, kRuntimeTagBase + 999, 42);
+                 }
+               }),
+               Error);
+}
+
+TEST(Invariants, SendRejectsUnregisteredCollectiveBandTag) {
+  SKIP_WITHOUT_INVARIANTS();
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([&](Context& ctx) {
+                 if (ctx.rank() == 0) {
+                   // The collectives band registers base+1..base+7 only.
+                   ctx.send(1, kCollectiveTagBase + 100, 42);
+                 }
+               }),
+               Error);
+}
+
+TEST(Invariants, SendAcceptsRegisteredTagsInEveryBand) {
+  // Regression guard in both build modes: legal traffic never trips the
+  // tag check.  One tag per band: user, runtime, kernel.
+  Machine m(2, quiet_config());
+  m.run([&](Context& ctx) {
+    for (int tag : {42, kTagHaloBase + 2, kTagRedistData, kTagTriBase + 4}) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, tag, tag);
+      } else {
+        EXPECT_EQ(ctx.recv<int>(0, tag), tag);
+      }
+    }
+  });
+}
+
+// --- sync_clocks straddle detection ----------------------------------------
+
+TEST(Invariants, RecvRejectsMessageStraddlingSyncClocks) {
+  SKIP_WITHOUT_INVARIANTS();
+  Machine m(2, quiet_config());
+  EXPECT_THROW(m.run([&](Context& ctx) {
+                 Group g = whole_machine(ctx);
+                 if (ctx.rank() == 0) {
+                   // Sent before the barrier...
+                   ctx.send(1, /*tag=*/5, 1.0);
+                   sync_clocks(ctx, g);
+                 } else {
+                   sync_clocks(ctx, g);
+                   // ...received after it: the message carries a
+                   // pre-barrier timestamp into the measured phase.
+                   (void)ctx.recv<double>(0, 5);
+                 }
+               }),
+               Error);
+}
+
+TEST(Invariants, BarrierSeparatedPhasesPassTheStraddleCheck) {
+  // Regression guard: a well-phased program (all traffic quiesced before
+  // each sync_clocks, fresh traffic after) is legal in both build modes.
+  Machine m(2, quiet_config());
+  m.run([&](Context& ctx) {
+    Group g = whole_machine(ctx);
+    for (int phase = 0; phase < 3; ++phase) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, /*tag=*/5, static_cast<double>(phase));
+      } else {
+        EXPECT_EQ(ctx.recv<double>(0, 5), static_cast<double>(phase));
+      }
+      sync_clocks(ctx, g);
+    }
+    const double sum = allreduce_sum(ctx, g, 1.0);
+    EXPECT_EQ(sum, 2.0);
+  });
+}
+
+}  // namespace
+}  // namespace kali

@@ -1,0 +1,6 @@
+// Fixture: the machine layer must not reach up into runtime.
+#pragma once
+
+#include "machine/message.hpp"
+#include "runtime/bad_tag.hpp"  // LINT-EXPECT: layering
+#include "support/whatever.hpp"

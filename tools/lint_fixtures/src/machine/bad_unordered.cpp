@@ -1,0 +1,16 @@
+// Fixture: hash containers are banned in machine/runtime code, and a
+// reasoned pragma waives the ban.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kali {
+
+int count_things() {
+  std::unordered_map<int, int> m;  // LINT-EXPECT: unordered-container
+  // Waived on purpose: the fixture proves the pragma suppresses the rule.
+  // kali-lint: allow(unordered-container)
+  std::unordered_set<int> s;
+  return static_cast<int>(m.size() + s.size());
+}
+
+}  // namespace kali

@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads in simulator code, one flagged and one
+// waived by a pragma on the line above.
+#include <chrono>
+
+namespace kali {
+
+double leak_wall_time() {
+  auto bad = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  // Deadlock-guard style waiver; never feeds simulated clocks.
+  // kali-lint: allow(wall-clock)
+  auto waived = std::chrono::system_clock::now();
+  (void)waived;
+  return std::chrono::duration<double>(bad.time_since_epoch()).count();
+}
+
+}  // namespace kali

@@ -1,0 +1,30 @@
+// Fixture: direct ctx send/recv in runtime code is flagged unless it
+// lives inside the send_one/recv_one closures handed to
+// detail::issue_exchange.
+#include "machine/message.hpp"
+#include "runtime/bad_tag.hpp"
+
+namespace kali {
+
+struct FakeCtx {
+  void send_span(int peer, int tag, const int* data);
+  void recv_into(int peer, int tag, int* data);
+};
+
+void naive_exchange(FakeCtx& ctx, const int* out, int* in) {
+  ctx.send_span(1, kTagDerived, out);  // LINT-EXPECT: raw-exchange
+  ctx.recv_into(1, kTagDerived, in);   // LINT-EXPECT: raw-exchange
+}
+
+void scheduled_exchange(FakeCtx& ctx, const int* out, int* in) {
+  auto send_one = [&](int peer) {
+    ctx.send_span(peer, kTagDerived, out);  // inside closure: clean
+  };
+  auto recv_one = [&](int peer) {
+    ctx.recv_into(peer, kTagDerived, in);  // inside closure: clean
+  };
+  send_one(0);
+  recv_one(0);
+}
+
+}  // namespace kali

@@ -1,0 +1,11 @@
+// Fixture: runtime tag constants must derive from the registry.
+#pragma once
+
+#include "machine/message.hpp"
+
+namespace kali {
+
+constexpr int kTagAdHoc = 1234567;  // LINT-EXPECT: raw-tag
+constexpr int kTagDerived = kTagHaloBase + 3;  // registry-derived: clean
+
+}  // namespace kali

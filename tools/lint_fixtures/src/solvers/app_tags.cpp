@@ -1,0 +1,12 @@
+// Fixture: application (solver) tags must be plain literals inside the
+// user band [0, 1 << 20); and solvers must not include metrics headers.
+#include "machine/message.hpp"
+#include "metrics/stats.hpp"  // LINT-EXPECT: layering
+
+namespace kali {
+
+constexpr int kTagAppProbe = 17;  // user band: clean
+constexpr int kTagAppShifted = 1 << 12;  // shift still evaluates: clean
+constexpr int kTagAppTooHigh = 1 << 21;  // LINT-EXPECT: raw-tag
+
+}  // namespace kali

@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Determinism lint for the kali tree.
+
+The machine model's correctness claims (bit-identical clocks across runs
+and thread interleavings, docs/machine-model.md) rest on invariants the
+compiler never checks.  This linter enforces the written rules:
+
+  raw-tag        Message tags in runtime/kernel code must be derived from
+                 the reserved-tag registry (src/machine/message.hpp), never
+                 ad-hoc integer literals; application (solver/example) tag
+                 constants must stay below kRuntimeTagBase (1 << 20).
+  unordered-container
+                 No std::unordered_{map,set,multimap,multiset} in
+                 src/machine/ or src/runtime/: hash-table iteration order
+                 can feed clocks, payload order, or stats output.
+  wall-clock     No wall-clock or nondeterministic randomness
+                 (steady_clock/system_clock/rand()/std::random_device/...)
+                 in src/machine/ or src/runtime/ simulator code paths.
+  layering       Include-graph layering: machine must not include
+                 runtime/kernels/solvers/metrics headers; runtime must not
+                 include kernels/solvers; and so on down the layer DAG.
+  raw-exchange   In src/runtime/, ctx.send*/recv* calls must flow through
+                 detail::issue_exchange (i.e. live inside the send_one /
+                 recv_one closures it dispatches), so every dense exchange
+                 obeys the round-structured CommSchedule.
+
+A finding can be waived in place with a reasoned pragma on the same line
+or the line above:
+
+    // kali-lint: allow(wall-clock) — deadlock guard, never feeds clocks
+
+Modes:
+    lint_kali.py [--root DIR]      lint DIR/src (default: repo root)
+    lint_kali.py --self-test       run over tools/lint_fixtures/ and check
+                                   findings match the // LINT-EXPECT: <rule>
+                                   markers exactly, line by line
+    lint_kali.py --list-rules      print rule ids (docs drift check)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "raw-tag",
+    "unordered-container",
+    "wall-clock",
+    "layering",
+    "raw-exchange",
+)
+
+# Layer DAG: which layers each layer's headers may include.  `support` is
+# the shared leaf; metrics reads machine topology/config but not the
+# runtime or solver layers.
+LAYER_ALLOWED = {
+    "machine": {"machine", "support"},
+    "runtime": {"machine", "runtime", "support"},
+    "kernels": {"machine", "runtime", "kernels", "support"},
+    "solvers": {"machine", "runtime", "kernels", "solvers", "support"},
+    "metrics": {"machine", "metrics", "support"},
+    "support": {"support"},
+}
+
+ALLOW_RE = re.compile(r"kali-lint:\s*allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"LINT-EXPECT:\s*([a-z-]+)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+TAG_DEF_RE = re.compile(r"\bconstexpr\s+int\s+(kTag\w*)\s*=\s*([^;]+);")
+# A send/recv call whose tag argument (second) is a bare integer literal.
+LITERAL_TAG_CALL_RE = re.compile(
+    r"\.\s*(?:send|send_span|send_bytes|recv|recv_vec|recv_into|recv_message|probe)"
+    r"\s*(?:<[^()]*>)?\(\s*[^,()]+,\s*\d+\s*[,)]"
+)
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+WALL_CLOCK_RES = (
+    re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"),
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"(?<![\w:])s?rand\s*\("),
+    re.compile(r"\bgettimeofday\b"),
+    re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+)
+CTX_CALL_RE = re.compile(r"\bctx_?(?:\.|->)\s*(?:send|recv)\w*\s*(?:<[^()]*>)?\(")
+EXCHANGE_LAMBDA_RE = re.compile(r"\bauto\s+(send_one|recv_one)\s*=\s*\[")
+
+
+class Finding:
+    def __init__(self, path, line, rule, msg):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_code(line):
+    """Drop string/char literals and line comments so patterns only match
+    code.  Block comments are handled per-file in load_lines."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def load_lines(path):
+    """Returns (raw_lines, code_lines) with block comments blanked in the
+    code view (raw view keeps pragmas and LINT-EXPECT markers visible)."""
+    with open(path, encoding="utf-8") as f:
+        raw = f.read().splitlines()
+    code = []
+    in_block = False
+    for line in raw:
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start = line.find("/*", i)
+                if start < 0:
+                    out.append(line[i:])
+                    i = len(line)
+                else:
+                    out.append(line[i:start])
+                    in_block = True
+                    i = start + 2
+        code.append(strip_code("".join(out)))
+    return raw, code
+
+
+def layer_of(relpath):
+    parts = relpath.replace(os.sep, "/").split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def registry_symbols(root):
+    """Constant names defined in the reserved-tag registry."""
+    path = os.path.join(root, "src", "machine", "message.hpp")
+    syms = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for m in re.finditer(r"\bconstexpr\s+int\s+(k\w+)\s*=", f.read()):
+                syms.add(m.group(1))
+    return syms
+
+
+def eval_int_expr(expr):
+    """Value of a tag initializer built purely from integer literals and
+    arithmetic/shift/bit operators, or None if anything else appears."""
+    if not re.fullmatch(r"[0-9xXa-fA-F\s()+\-*|&<>]*", expr):
+        return None
+    # Reject comparison operators while letting << / >> shifts through: a
+    # lone < or > (no shift partner on either side) is a comparison.
+    if re.search(r"(?<![<>])<(?!<)|(?<![<>])>(?!>)", expr):
+        return None
+    try:
+        return eval(expr, {"__builtins__": {}}, {})  # literal-only, filtered above
+    except Exception:
+        return None
+
+
+def lint_file(root, relpath, findings):
+    layer = layer_of(relpath)
+    if layer is None:
+        return
+    path = os.path.join(root, relpath)
+    raw, code = load_lines(path)
+    registry = registry_symbols(root)
+    is_registry = relpath.replace(os.sep, "/") == "src/machine/message.hpp"
+
+    def allowed(idx, rule):
+        """A waiver pragma covers its own line, or a flagged line below it
+        separated only by comment/blank lines."""
+        j = idx
+        while j >= 0:
+            m = ALLOW_RE.search(raw[j])
+            if m and m.group(1) == rule:
+                return True
+            j -= 1
+            if j < 0 or code[j].strip():  # previous line has real code: stop
+                return False
+        return False
+
+    def report(idx, rule, msg):
+        if not allowed(idx, rule):
+            findings.append(Finding(relpath, idx + 1, rule, msg))
+
+    # --- layering -----------------------------------------------------------
+    # The code view blanks string literals (taking the include path with
+    # them), so match the raw line — but only where the code view still
+    # shows a live preprocessor directive, which skips commented-out
+    # includes in both // and /* */ comments.
+    for i, line in enumerate(code):
+        if not line.lstrip().startswith("#"):
+            continue
+        m = INCLUDE_RE.match(raw[i])
+        if not m:
+            continue
+        inc_layer = m.group(1).split("/", 1)[0]
+        if inc_layer in LAYER_ALLOWED and inc_layer not in LAYER_ALLOWED[layer]:
+            report(i, "layering",
+                   f'{layer}/ must not include "{m.group(1)}" '
+                   f"({layer} -> {inc_layer} breaks the layer DAG)")
+
+    # --- unordered-container / wall-clock (machine + runtime only) ----------
+    if layer in ("machine", "runtime"):
+        for i, line in enumerate(code):
+            if UNORDERED_RE.search(line):
+                report(i, "unordered-container",
+                       "hash containers are banned in machine/runtime: "
+                       "iteration order could feed clocks, payload order, "
+                       "or stats output")
+            for pat in WALL_CLOCK_RES:
+                if pat.search(line):
+                    report(i, "wall-clock",
+                           "wall-clock / nondeterministic randomness in "
+                           "simulator code: clocks must be pure functions "
+                           "of the simulated program")
+                    break
+
+    # --- raw-tag ------------------------------------------------------------
+    if not is_registry:
+        for i, line in enumerate(code):
+            for m in TAG_DEF_RE.finditer(line):
+                name, init = m.group(1), m.group(2).strip()
+                if layer in ("machine", "runtime", "kernels", "metrics"):
+                    if not any(re.search(rf"\b{re.escape(s)}\b", init)
+                               for s in registry):
+                        report(i, "raw-tag",
+                               f"{name} must be derived from the reserved-tag "
+                               "registry (machine/message.hpp), not raw "
+                               f"literals: `{init}`")
+                else:  # solvers: user band only
+                    val = eval_int_expr(init)
+                    if val is None or val >= (1 << 20):
+                        report(i, "raw-tag",
+                               f"application tag {name} = `{init}` must be a "
+                               "plain literal below kRuntimeTagBase (1 << 20)")
+            if layer in ("machine", "runtime", "kernels") and \
+                    LITERAL_TAG_CALL_RE.search(line):
+                report(i, "raw-tag",
+                       "integer-literal message tag at a send/recv call "
+                       "site; use a registered kTag* constant")
+
+    # --- raw-exchange (runtime only) ----------------------------------------
+    if layer == "runtime":
+        in_lambda_until_depth = None
+        depth = 0
+        for i, line in enumerate(code):
+            starts_lambda = EXCHANGE_LAMBDA_RE.search(line)
+            if starts_lambda and in_lambda_until_depth is None:
+                in_lambda_until_depth = depth
+            if in_lambda_until_depth is None and CTX_CALL_RE.search(line):
+                report(i, "raw-exchange",
+                       "direct ctx send/recv in runtime code: dense "
+                       "exchanges must flow through detail::issue_exchange "
+                       "(send_one/recv_one closures)")
+            depth += line.count("{") - line.count("}")
+            if in_lambda_until_depth is not None and \
+                    depth <= in_lambda_until_depth and "}" in line:
+                in_lambda_until_depth = None
+
+
+def collect_sources(root):
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                out.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(out)
+
+
+def run_lint(root):
+    findings = []
+    for rel in collect_sources(root):
+        lint_file(root, rel, findings)
+    return findings
+
+
+def self_test(repo_root):
+    root = os.path.join(repo_root, "tools", "lint_fixtures")
+    findings = run_lint(root)
+    actual = {(f.path.replace(os.sep, "/"), f.line, f.rule) for f in findings}
+    expected = set()
+    for rel in collect_sources(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            for i, line in enumerate(f.read().splitlines()):
+                for m in EXPECT_RE.finditer(line):
+                    expected.add((rel.replace(os.sep, "/"), i + 1, m.group(1)))
+    ok = True
+    for miss in sorted(expected - actual):
+        print(f"SELF-TEST MISS: expected finding not produced: {miss}")
+        ok = False
+    for extra in sorted(actual - expected):
+        print(f"SELF-TEST EXTRA: unexpected finding: {extra}")
+        ok = False
+    if ok:
+        print(f"lint self-test OK ({len(expected)} expected findings, "
+              f"{len(set(r for _, _, r in expected))} rules exercised)")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+    if args.self_test:
+        return self_test(args.root)
+    findings = run_lint(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint FAILED: {len(findings)} finding(s)")
+        return 1
+    print("lint OK (rules: " + ", ".join(RULES) + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
