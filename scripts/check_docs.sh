@@ -7,7 +7,9 @@
 #      src/machine/collectives.hpp — both directions, names and values;
 #   3. docs/static-analysis.md documents exactly the rule ids the
 #      determinism linter implements (tools/lint_kali.py --list-rules)
-#      — both directions again.
+#      — both directions again;
+#   4. docs/static-analysis.md documents exactly the rule ids the offline
+#      trace verifier implements (tools/check_trace.py --list-rules).
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -86,7 +88,32 @@ while IFS= read -r name; do
   fi
 done < <(printf '%s\n' "$rule_table" | grep -oE '^\| `[a-z-]+`' | sed -E 's/^\| `([a-z-]+)`/\1/' | sort -u)
 
+# --- 4. trace-verifier rule drift -------------------------------------------
+trace_table=$(sed -n '/BEGIN trace-rule table/,/END trace-rule table/p' "$lint_doc")
+if [ -z "$trace_table" ]; then
+  echo "TRACE DRIFT: $lint_doc lost its trace-rule table markers"
+  fail=1
+fi
+
+trace_rules=$(python3 tools/check_trace.py --list-rules)
+
+# Forward: every rule the verifier implements is documented.
+while IFS= read -r rule; do
+  if ! printf '%s\n' "$trace_table" | grep -qF "\`$rule\`"; then
+    echo "TRACE DRIFT: rule '$rule' (check_trace.py) missing from $lint_doc"
+    fail=1
+  fi
+done <<< "$trace_rules"
+
+# Reverse: every rule named in the doc's table exists in the verifier.
+while IFS= read -r name; do
+  if ! printf '%s\n' "$trace_rules" | grep -qxF "$name"; then
+    echo "TRACE DRIFT: $lint_doc documents rule '$name', which check_trace.py does not implement"
+    fail=1
+  fi
+done < <(printf '%s\n' "$trace_table" | grep -oE '^\| `[a-z-]+`' | sed -E 's/^\| `([a-z-]+)`/\1/' | sort -u)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK (links + reserved-tag registry + lint rules)"
+  echo "docs check OK (links + reserved-tag registry + lint rules + trace rules)"
 fi
 exit $fail

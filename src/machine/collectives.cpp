@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "machine/deadlock.hpp"
+#include "support/check.hpp"
+
 namespace kali {
 
 void barrier(Context& ctx, const Group& g) {
@@ -37,6 +40,20 @@ double sync_clocks(Context& ctx, const Group& g) {
   const double aligned = allreduce_max(ctx, g, ctx.clock());
   ctx.proc().realign_clock(aligned);  // sanctioned pull-back: see Processor
   ctx.proc().clear_link_state();
+  // Message-leak check: when the group spans the machine, the allreduce is
+  // a full synchronization, so every message of the ending phase addressed
+  // to this member has been pushed by now — anything still queued that was
+  // stamped with this phase's epoch was sent and never received (a faster
+  // peer may already have sent into the *next* phase with a bumped epoch;
+  // the filter skips those).  A subgroup barrier proves nothing about
+  // non-members' traffic, so the check only arms machine-wide.
+  KALI_INVARIANT(
+      g.size() < ctx.nprocs() ||
+          stale_pending(ctx.proc().mailbox(), ctx.proc().barrier_epoch()) ==
+              0,
+      "message leak at sync_clocks: sent this phase but never received:\n" +
+          describe_pending(ctx.proc().mailbox(), ctx.rank(),
+                           ctx.proc().barrier_epoch()));
   // Invariant-mode bookkeeping: messages are stamped with the sender's
   // barrier count so a message sent before this barrier and received after
   // it is caught at the recv (see Message::epoch).  Bumped last, after the

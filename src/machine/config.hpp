@@ -84,9 +84,18 @@ struct MachineConfig {
   std::size_t allgather_tree_max_bytes = 1024;
 
   // --- harness behaviour (not part of the cost model) ---
-  /// Wall-clock seconds a blocking recv waits before failing.  This is a
-  /// deadlock guard for the test-suite; a correct program never hits it.
+  /// Wall-clock seconds a blocking recv waits before failing.  This is the
+  /// *fallback* deadlock guard; a correct program never hits it, and with
+  /// `deadlock_detection` on (the default), neither do most incorrect ones.
   double recv_timeout_wall = 60.0;
+
+  /// Wait-for-graph deadlock detection (machine/deadlock.hpp): every rank
+  /// blocking in recv publishes a wait edge, and a closed wait-for graph
+  /// with no satisfying in-flight message aborts the run instantly with a
+  /// per-rank diagnostic instead of sitting out recv_timeout_wall.  Purely
+  /// a harness feature: it never touches simulated clocks, payloads, or
+  /// stats.  Disable to fall back to the wall-clock timeout alone.
+  bool deadlock_detection = true;
 };
 
 }  // namespace kali

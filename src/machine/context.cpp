@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "machine/topology.hpp"
+#include "machine/trace.hpp"
 
 namespace kali {
 
@@ -80,14 +81,26 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   }
   cnt.msgs_sent += 1;
   cnt.bytes_sent += m.payload.size();
+  cnt.sent_by_tag[tag] += 1;
   if (dst == rank()) {
     cnt.self_msgs_by_tag[tag] += 1;
+  }
+  if (MessageTrace* t = machine_->message_trace()) {
+    t->record_send(rank(), dst, tag, m.seq, m.payload.size(), m.epoch);
   }
   machine_->proc(dst).mailbox().push(std::move(m));
 }
 
 Message Context::recv_message(int src, int tag) {
-  Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall);
+  Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall,
+                                    machine_->deadlock_detector(), rank());
+  // The trace logs the *receiver's* epoch (not the message's stamp), so the
+  // offline verifier can flag barrier straddling by comparing the matched
+  // send/recv pair's epochs.
+  if (MessageTrace* t = machine_->message_trace()) {
+    t->record_recv(rank(), m.src, m.tag, m.seq, m.size_bytes(),
+                   self_->barrier_epoch());
+  }
   // A message sent before a sync_clocks barrier but received after it
   // carries a pre-barrier timestamp into a phase whose clocks were aligned
   // (and whose link state was cleared) at the barrier — silently poisoning
@@ -159,6 +172,7 @@ Message Context::recv_message(int src, int tag) {
   self_->set_clock(ready + config().recv_overhead);
   cnt.msgs_recv += 1;
   cnt.bytes_recv += m.size_bytes();
+  cnt.recv_by_tag[m.tag] += 1;
   return m;
 }
 

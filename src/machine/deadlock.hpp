@@ -1,0 +1,93 @@
+// Wait-for-graph deadlock detection for blocking matched receives.
+//
+// Every rank that blocks in Mailbox::recv publishes a wait edge
+// (waiter -> expected (src, tag)) before sleeping.  Each registration (and
+// each rank retiring via mark_done) runs a satisfiability check: a waiting
+// rank is *live* if a matching message is already queued in its mailbox, or
+// if some rank that could still produce one is live.  If any waiter ends up
+// outside the live set, the waiters form a closed wait-for graph no in-flight
+// message can break — a certain deadlock — and the detector throws a full
+// diagnostic dump (per-rank state, expected source/tag with registry names,
+// mailbox contents) the instant the set closes, instead of letting the run
+// sit out the wall-clock recv timeout (which remains the fallback for stalls
+// the graph cannot prove, e.g. a live peer that simply never sends).
+//
+// Soundness rests on two properties of the machine layer:
+//  * pushes are synchronous — Context::send_bytes deposits directly into the
+//    destination mailbox, so "in flight" means "queued in the mailbox" and
+//    Mailbox::probe sees every message that exists;
+//  * mailboxes are single-consumer — only the owning rank pops, and it is
+//    never popping while registered as waiting, so a probe observed under
+//    the detector lock cannot be invalidated by a concurrent pop.
+//
+// Lock order: detector mutex, then mailbox mutex (inside probe/snapshot).
+// Mailbox::recv never calls into the detector while holding its own lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/mailbox.hpp"
+
+namespace kali {
+
+/// One line per queued message: "src -> owner tag <name> (<bytes> B, epoch
+/// <e>)".  Messages with epoch > max_epoch are omitted (post-barrier early
+/// arrivals are not leaks of the phase being checked).  Empty string if
+/// nothing qualifies.
+[[nodiscard]] std::string describe_pending(
+    const Mailbox& mb, int owner_rank,
+    std::uint32_t max_epoch = UINT32_MAX);
+
+/// Number of queued messages with epoch <= max_epoch: the sent-but-never-
+/// received count the leak checks assert to be zero at sync_clocks (epoch
+/// filter skips messages a faster peer already sent into the *next* phase)
+/// and at machine teardown (max_epoch = UINT32_MAX: everything is a leak).
+[[nodiscard]] std::size_t stale_pending(const Mailbox& mb,
+                                        std::uint32_t max_epoch);
+
+class DeadlockDetector {
+ public:
+  /// One mailbox per rank, indexed by rank.  Pointers must outlive the
+  /// detector (Machine owns both).
+  explicit DeadlockDetector(std::vector<Mailbox*> mailboxes);
+
+  /// Forget all wait state (call before each Machine::run).
+  void reset();
+
+  /// Rank `rank` is about to block waiting for (src, tag).  Runs the
+  /// wait-for-graph check; throws kali::Error with the diagnostic dump if
+  /// this registration closes a deadlocked set.
+  void enter_wait(int rank, int src, int tag);
+
+  /// Rank `rank` woke up (it will re-check its mailbox and either pop or
+  /// re-register).  Must be called before the rank pops, so a rank is never
+  /// simultaneously "waiting" and consuming.
+  void leave_wait(int rank);
+
+  /// Rank `rank` finished its program and will never send again.  Runs the
+  /// check: waiters expecting this rank may have just become unsatisfiable.
+  void mark_done(int rank);
+
+ private:
+  enum class State : std::uint8_t { kRunning, kWaiting, kDone };
+
+  struct RankState {
+    State state = State::kRunning;
+    int want_src = 0;
+    int want_tag = 0;
+  };
+
+  /// Throws if the current wait-for graph contains a closed stuck set.
+  void check_locked();
+
+  [[nodiscard]] std::string dump_locked(
+      const std::vector<bool>& stuck) const;
+
+  std::vector<Mailbox*> mailboxes_;
+  std::vector<RankState> ranks_;
+  std::mutex mu_;
+};
+
+}  // namespace kali

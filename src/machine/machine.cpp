@@ -15,6 +15,14 @@ Machine::Machine(int nprocs, MachineConfig cfg) : cfg_(cfg) {
   for (int r = 0; r < nprocs; ++r) {
     procs_.push_back(std::make_unique<Processor>(r));
   }
+  if (cfg_.deadlock_detection) {
+    std::vector<Mailbox*> mailboxes;
+    mailboxes.reserve(procs_.size());
+    for (auto& p : procs_) {
+      mailboxes.push_back(&p->mailbox());
+    }
+    detector_ = std::make_unique<DeadlockDetector>(std::move(mailboxes));
+  }
 }
 
 Processor& Machine::proc(int rank) {
@@ -44,6 +52,9 @@ void Machine::run(const std::function<void(Context&)>& program) {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
+  if (detector_) {
+    detector_->reset();
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
@@ -51,6 +62,12 @@ void Machine::run(const std::function<void(Context&)>& program) {
       Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
       try {
         program(ctx);
+        // Retire this rank in the wait-for graph: peers still waiting on
+        // it may have just become unsatisfiable, which mark_done detects
+        // (the throw lands in the catch below like any program error).
+        if (detector_) {
+          detector_->mark_done(r);
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lk(error_mu);
@@ -72,6 +89,21 @@ void Machine::run(const std::function<void(Context&)>& program) {
   if (failed.load()) {
     std::rethrow_exception(first_error);
   }
+#if defined(KALI_CHECK_INVARIANTS)
+  // Message-leak check at teardown: the program finished everywhere, so
+  // anything still queued was sent and never received — a protocol bug the
+  // matched-pair design of every runtime exchange rules out.  (sync_clocks
+  // runs the same check per phase, epoch-filtered; see collectives.cpp.)
+  std::string leaks;
+  for (const auto& q : procs_) {
+    leaks += describe_pending(q->mailbox(), q->rank());
+  }
+  if (!leaks.empty()) {
+    throw Error(
+        "message leak at machine teardown: sent but never received:\n" +
+        leaks);
+  }
+#endif
 }
 
 MachineStats Machine::stats() const {

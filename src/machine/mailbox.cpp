@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "machine/deadlock.hpp"
 #include "support/check.hpp"
 
 namespace kali {
@@ -27,37 +28,84 @@ std::optional<Message> Mailbox::try_pop_locked(int src, int tag) {
   return std::nullopt;
 }
 
-Message Mailbox::recv(int src, int tag, double timeout_wall_seconds) {
-  std::unique_lock<std::mutex> lk(mu_);
-  // Deadlock guard on the host clock only: the deadline never feeds
-  // simulated clocks, payloads, or stats — a correct program never hits it.
-  // kali-lint: allow(wall-clock) — wall-clock timeout is the guard's point.
-  using WallClock = std::chrono::steady_clock;
-  const auto deadline = WallClock::now() +
-                        std::chrono::duration_cast<WallClock::duration>(
-                            std::chrono::duration<double>(timeout_wall_seconds));
-  for (;;) {
-    if (aborted_) {
-      throw Error("recv aborted: a peer processor failed");
-    }
-    if (auto m = try_pop_locked(src, tag)) {
-      return std::move(*m);
-    }
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      throw Error("recv timed out waiting for src=" + std::to_string(src) +
-                  " tag=" + std::to_string(tag) + " (likely deadlock)");
-    }
-  }
-}
-
-bool Mailbox::probe(int src, int tag) {
-  std::lock_guard<std::mutex> lk(mu_);
+bool Mailbox::has_match_locked(int src, int tag) const {
   for (const auto& m : queue_) {
     if ((src == kAnySource || m.src == src) && m.tag == tag) {
       return true;
     }
   }
   return false;
+}
+
+Message Mailbox::recv(int src, int tag, double timeout_wall_seconds,
+                      DeadlockDetector* detector, int self_rank) {
+  // Fallback deadlock guard on the host clock only: the deadline never
+  // feeds simulated clocks, payloads, or stats — a correct program never
+  // hits it, and with the wait-for-graph detector on, neither do most
+  // incorrect ones (provable deadlocks abort instantly via the detector;
+  // the timeout catches only open-ended stalls the graph cannot prove).
+  // kali-lint: allow(wall-clock) — wall-clock timeout is the guard's point.
+  using WallClock = std::chrono::steady_clock;
+  const auto deadline = WallClock::now() +
+                        std::chrono::duration_cast<WallClock::duration>(
+                            std::chrono::duration<double>(timeout_wall_seconds));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (auto m = try_pop_locked(src, tag)) {
+        return std::move(*m);
+      }
+    }
+    // Publish the wait edge with no mailbox lock held (the detector takes
+    // its own lock first, then probes mailboxes: single fixed lock order).
+    // May throw the deadlock diagnostic if this edge closes a stuck set.
+    if (detector != nullptr) {
+      detector->enter_wait(self_rank, src, tag);
+    }
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // Re-check under the lock: a push between the pop attempt above and
+      // here would otherwise be slept through until the next notify.
+      if (!aborted_ && !has_match_locked(src, tag)) {
+        timed_out =
+            cv_.wait_until(lk, deadline) == std::cv_status::timeout;
+      }
+    }
+    // Deregister before looping back to pop: the detector's soundness
+    // argument needs "registered waiting" and "consuming" to be disjoint.
+    if (detector != nullptr) {
+      detector->leave_wait(self_rank);
+    }
+    if (timed_out) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!aborted_ && !has_match_locked(src, tag)) {
+        throw Error("recv timed out waiting for src=" + std::to_string(src) +
+                    " tag=" + std::to_string(tag) +
+                    " (likely deadlock; wait-for-graph detection " +
+                    (detector != nullptr ? "did not trip" : "is disabled") +
+                    ")");
+      }
+    }
+  }
+}
+
+bool Mailbox::probe(int src, int tag) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return has_match_locked(src, tag);
+}
+
+std::vector<PendingMessage> Mailbox::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PendingMessage> out;
+  out.reserve(queue_.size());
+  for (const auto& m : queue_) {
+    out.push_back({m.src, m.tag, m.size_bytes(), m.epoch});
+  }
+  return out;
 }
 
 void Mailbox::abort() {

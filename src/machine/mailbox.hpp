@@ -5,9 +5,11 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "machine/message.hpp"
 
@@ -15,17 +17,37 @@ namespace kali {
 
 inline constexpr int kAnySource = -1;
 
+class DeadlockDetector;
+
+/// Snapshot row of one queued (sent-but-not-yet-received) message, for the
+/// deadlock detector's diagnostic dump and the leak checks.
+struct PendingMessage {
+  int src = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::uint32_t epoch = 0;
+};
+
 class Mailbox {
  public:
   /// Deposit a message (called from the sender's thread).
   void push(Message m);
 
-  /// Blocking matched receive.  Throws kali::Error on wall-clock timeout
-  /// (deadlock guard) or if the machine aborted because a peer threw.
-  Message recv(int src, int tag, double timeout_wall_seconds);
+  /// Blocking matched receive.  When `detector` is set, the wait is
+  /// published as a wait-for-graph edge for `self_rank` before blocking, so
+  /// a certain deadlock aborts instantly with a diagnostic instead of
+  /// sitting out the wall-clock timeout (which remains the fallback).
+  /// Throws kali::Error on detection, on timeout, or if the machine aborted
+  /// because a peer threw.
+  Message recv(int src, int tag, double timeout_wall_seconds,
+               DeadlockDetector* detector = nullptr, int self_rank = -1);
 
   /// Non-blocking probe: true if a matching message is queued.
-  [[nodiscard]] bool probe(int src, int tag);
+  [[nodiscard]] bool probe(int src, int tag) const;
+
+  /// Copy of the queued messages' metadata (src, tag, size, epoch), in
+  /// queue order.  Diagnostics and leak accounting only.
+  [[nodiscard]] std::vector<PendingMessage> snapshot() const;
 
   /// Wake all waiters with an "aborted" error (peer processor failed).
   void abort();
@@ -47,6 +69,7 @@ class Mailbox {
 
  private:
   std::optional<Message> try_pop_locked(int src, int tag);
+  [[nodiscard]] bool has_match_locked(int src, int tag) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

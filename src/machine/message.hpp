@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace kali {
@@ -56,6 +57,12 @@ inline constexpr int kTagRemap = kRuntimeTagBase + 17;
 /// [base, base + 27) for ranks up to 3.
 inline constexpr int kTagHaloCornerBase = kRuntimeTagBase + 32;
 
+/// Halo exchange, corner mode, coalesced wire format (HaloWire::kCoalesced):
+/// all direction pieces bound for one peer travel as a single packed
+/// message, concatenated in ascending direction-code order.  The
+/// per-direction tags above remain the oracle path (HaloWire::kPerDirection).
+inline constexpr int kTagHaloCornerPack = kRuntimeTagBase + 60;
+
 /// Inspector/executor gather (runtime/inspector.hpp): request-index lists.
 inline constexpr int kTagInspReq = kRuntimeTagBase + 64;
 
@@ -92,6 +99,7 @@ inline constexpr int kTagBaselineBase = 3 << 22;
     return (tag >= kTagHaloBase && tag < kTagHaloBase + 12) ||
            tag == kTagRedistData || tag == kTagRemap ||
            (tag >= kTagHaloCornerBase && tag < kTagHaloCornerBase + 27) ||
+           tag == kTagHaloCornerPack ||
            tag == kTagInspReq || tag == kTagInspData;
   }
   if (tag < kCollectiveTagBase) {
@@ -99,6 +107,71 @@ inline constexpr int kTagBaselineBase = 3 << 22;
   }
   // Collectives band: kTagReduceUp (base + 1) .. kTagAllGather (base + 7).
   return tag >= kCollectiveTagBase + 1 && tag <= kCollectiveTagBase + 7;
+}
+
+/// Human-readable name of a tag for diagnostics (deadlock dumps, leak
+/// reports): the registry constant plus an offset where the allocation is a
+/// block, the band name otherwise.  Collectives names are spelled out here
+/// although the constants live in collectives.hpp (a higher layer this
+/// header cannot include) — keep them in sync with the
+/// kTagReduceUp..kTagAllGather block.
+[[nodiscard]] inline std::string tag_name(int tag) {
+  const auto with_offset = [&](const char* base_name, int base) {
+    std::string s = base_name;
+    if (tag != base) {
+      s += "+" + std::to_string(tag - base);
+    }
+    return s;
+  };
+  if (tag < 0) {
+    return "invalid(" + std::to_string(tag) + ")";
+  }
+  if (tag < kRuntimeTagBase) {
+    return "user:" + std::to_string(tag);
+  }
+  if (tag < kKernelTagBase) {
+    if (tag >= kTagHaloBase && tag < kTagHaloBase + 12) {
+      return with_offset("kTagHaloBase", kTagHaloBase);
+    }
+    if (tag == kTagRedistData) {
+      return "kTagRedistData";
+    }
+    if (tag == kTagRemap) {
+      return "kTagRemap";
+    }
+    if (tag >= kTagHaloCornerBase && tag < kTagHaloCornerBase + 27) {
+      return with_offset("kTagHaloCornerBase", kTagHaloCornerBase);
+    }
+    if (tag == kTagHaloCornerPack) {
+      return "kTagHaloCornerPack";
+    }
+    if (tag == kTagInspReq) {
+      return "kTagInspReq";
+    }
+    if (tag == kTagInspData) {
+      return "kTagInspData";
+    }
+    return "runtime:" + std::to_string(tag - kRuntimeTagBase);
+  }
+  if (tag < kCollectiveTagBase) {
+    if (tag >= kTagBaselineBase && tag < kTagBaselineBase + 3) {
+      return with_offset("kTagBaselineBase", kTagBaselineBase);
+    }
+    if (tag >= kTagTriBase) {
+      return with_offset("kTagTriBase", kTagTriBase);
+    }
+    return "kernel:" + std::to_string(tag - kKernelTagBase);
+  }
+  switch (tag - kCollectiveTagBase) {
+    case 1: return "kTagReduceUp";
+    case 2: return "kTagBcastDown";
+    case 3: return "kTagGather";
+    case 4: return "kTagBarrierUp";
+    case 5: return "kTagBarrierDown";
+    case 6: return "kTagGatherCounts";
+    case 7: return "kTagAllGather";
+    default: return "collective:" + std::to_string(tag - kCollectiveTagBase);
+  }
 }
 
 /// A message in flight.  `send_time` is the sender's simulated clock at the

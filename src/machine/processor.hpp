@@ -26,6 +26,16 @@ struct ProcCounters {
   double edge_wait_time = 0.0;       ///< time queued on busy topology edges
   std::uint64_t contended_msgs = 0;  ///< busy-port/edge encounters
 
+  /// Matched send/recv ledgers, by tag: how many messages this rank sent on
+  /// each tag, and how many it received.  Summed machine-wide
+  /// (MachineStats::sent_msgs / recv_msgs / unmatched_by_tag) the two must
+  /// balance per tag once a phase drains — the "LeakSanitizer for
+  /// messages" the sync_clocks and teardown leak checks enforce, and the
+  /// ground truth tests use to prove a message-dropping optimization
+  /// dropped only messages nobody would have received.
+  std::map<int, std::uint64_t> sent_by_tag;
+  std::map<int, std::uint64_t> recv_by_tag;
+
   /// Messages this rank sent to itself, by tag.  A self-message still pays
   /// send/recv overhead plus wire latency in the cost model, so runtime
   /// layers must copy locally instead; this map is how tests assert they do
@@ -51,6 +61,12 @@ struct ProcCounters {
     link_wait_time += o.link_wait_time;
     edge_wait_time += o.edge_wait_time;
     contended_msgs += o.contended_msgs;
+    for (const auto& [tag, n] : o.sent_by_tag) {
+      sent_by_tag[tag] += n;
+    }
+    for (const auto& [tag, n] : o.recv_by_tag) {
+      recv_by_tag[tag] += n;
+    }
     for (const auto& [tag, n] : o.self_msgs_by_tag) {
       self_msgs_by_tag[tag] += n;
     }

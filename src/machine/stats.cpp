@@ -41,6 +41,42 @@ std::uint64_t MachineStats::self_msgs_total() const {
   return n;
 }
 
+std::uint64_t MachineStats::sent_msgs(int tag) const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_proc) {
+    const auto it = c.sent_by_tag.find(tag);
+    if (it != c.sent_by_tag.end()) {
+      n += it->second;
+    }
+  }
+  return n;
+}
+
+std::uint64_t MachineStats::recv_msgs(int tag) const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_proc) {
+    const auto it = c.recv_by_tag.find(tag);
+    if (it != c.recv_by_tag.end()) {
+      n += it->second;
+    }
+  }
+  return n;
+}
+
+std::map<int, std::int64_t> MachineStats::unmatched_by_tag() const {
+  std::map<int, std::int64_t> diff;
+  for (const auto& c : per_proc) {
+    for (const auto& [tag, n] : c.sent_by_tag) {
+      diff[tag] += static_cast<std::int64_t>(n);
+    }
+    for (const auto& [tag, n] : c.recv_by_tag) {
+      diff[tag] -= static_cast<std::int64_t>(n);
+    }
+  }
+  std::erase_if(diff, [](const auto& kv) { return kv.second == 0; });
+  return diff;
+}
+
 double MachineStats::link_wait_time() const {
   double t = 0.0;
   for (const auto& c : per_proc) {

@@ -1,6 +1,7 @@
 // Aggregated machine statistics, collected after a run.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "machine/processor.hpp"
@@ -34,6 +35,18 @@ struct MachineStats {
 
   /// Self-messages across all tags.
   [[nodiscard]] std::uint64_t self_msgs_total() const;
+
+  /// Messages sent on `tag`, summed over processors (matched-send ledger).
+  [[nodiscard]] std::uint64_t sent_msgs(int tag) const;
+
+  /// Messages received on `tag`, summed over processors.
+  [[nodiscard]] std::uint64_t recv_msgs(int tag) const;
+
+  /// Per-tag send/recv imbalance: tag -> (sent - received), only tags with
+  /// a nonzero difference.  After a drained run every entry is a leaked
+  /// (sent-but-never-received) message — or, negative, a receive of a
+  /// message from a previous accounting era (impossible within one run).
+  [[nodiscard]] std::map<int, std::int64_t> unmatched_by_tag() const;
 
   /// Total simulated time messages spent queued on busy node ports
   /// (LinkContention::kPorts); zero when contention is off.

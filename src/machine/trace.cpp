@@ -1,6 +1,7 @@
 #include "machine/trace.hpp"
 
 #include <cstddef>
+#include <ostream>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -79,6 +80,30 @@ std::string ActivityTrace::render(const std::vector<std::string>& step_labels) c
     os << '\n';
   }
   return os.str();
+}
+
+std::size_t MessageTrace::total_events() const {
+  std::size_t n = 0;
+  for (const auto& shard : events_) {
+    n += shard.size();
+  }
+  return n;
+}
+
+void MessageTrace::clear() {
+  for (auto& shard : events_) {
+    shard.clear();
+  }
+}
+
+void MessageTrace::write(std::ostream& os) const {
+  os << "kali-trace 1 " << nprocs() << '\n';
+  for (int r = 0; r < nprocs(); ++r) {
+    for (const auto& e : events(r)) {
+      os << e.kind << ' ' << r << ' ' << e.peer << ' ' << e.tag << ' '
+         << e.seq << ' ' << e.bytes << ' ' << e.epoch << '\n';
+    }
+  }
 }
 
 }  // namespace kali

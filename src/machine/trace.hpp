@@ -1,7 +1,11 @@
 // Step/processor activity tracing, used to regenerate the paper's Figure 3
-// (data-flow graph activity) and Figure 5 (mapping onto the processor array).
+// (data-flow graph activity) and Figure 5 (mapping onto the processor array),
+// plus the message-event trace the offline protocol verifier
+// (tools/check_trace.py) consumes.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -36,6 +40,65 @@ class ActivityTrace {
   int nprocs_ = 0;
   std::vector<char> cells_;
   mutable std::mutex mu_;
+};
+
+/// Message-event trace: every send and receive of a run, recorded in
+/// program order per rank.  Attach via Machine::attach_message_trace; the
+/// offline verifier (tools/check_trace.py) replays the write() output and
+/// checks FIFO non-overtaking, tag-registry membership, and send/recv match
+/// counts.
+///
+/// Lock-free by sharding: each rank appends only to its own event vector
+/// (sends land in the sender's shard, receives in the receiver's), and the
+/// thread joins in Machine::run publish everything before write()/events()
+/// run on the caller's thread.  Purely harness-side observability — the
+/// recorded metadata never feeds simulated clocks.
+class MessageTrace {
+ public:
+  struct Event {
+    char kind = '?';  ///< 'S' (send) or 'R' (recv)
+    int peer = -1;    ///< destination for sends, source for receives
+    int tag = 0;
+    std::uint64_t seq = 0;    ///< sender-local sequence number
+    std::uint64_t bytes = 0;  ///< payload size
+    /// sync_clocks epoch of the *recording* rank: the sender's at send
+    /// time, the receiver's at receive time — a matched pair disagreeing
+    /// straddled a barrier (the verifier's epoch-straddle rule).
+    std::uint32_t epoch = 0;
+  };
+
+  explicit MessageTrace(int nprocs)
+      : events_(static_cast<std::size_t>(nprocs)) {}
+
+  /// Record rank -> dst (called from rank's own thread, at send time).
+  void record_send(int rank, int dst, int tag, std::uint64_t seq,
+                   std::uint64_t bytes, std::uint32_t epoch) {
+    events_[static_cast<std::size_t>(rank)].push_back(
+        {'S', dst, tag, seq, bytes, epoch});
+  }
+
+  /// Record src -> rank (called from rank's own thread, at receive time).
+  void record_recv(int rank, int src, int tag, std::uint64_t seq,
+                   std::uint64_t bytes, std::uint32_t epoch) {
+    events_[static_cast<std::size_t>(rank)].push_back(
+        {'R', src, tag, seq, bytes, epoch});
+  }
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(events_.size()); }
+  [[nodiscard]] const std::vector<Event>& events(int rank) const {
+    return events_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::size_t total_events() const;
+  void clear();
+
+  /// Serialize for tools/check_trace.py: a `kali-trace 1 <nprocs>` header,
+  /// then one line per event in per-rank program order, ranks ascending:
+  ///   S <rank> <peer> <tag> <seq> <bytes> <epoch>
+  ///   R <rank> <peer> <tag> <seq> <bytes> <epoch>
+  void write(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<Event>> events_;  // shard per rank, no locks
 };
 
 }  // namespace kali

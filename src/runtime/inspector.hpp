@@ -6,16 +6,26 @@
 // scheme).  GatherPlan is that runtime code: an *inspector* pass records
 // which global indices each processor wants, builds a reusable
 // communication schedule, and the *executor* replays it cheaply every
-// iteration.  Both passes are dense pairwise exchanges over the view's
-// ranks, so they issue through detail::issue_exchange like every other
-// dense exchange in the runtime (round-structured by default); their tags
-// are registered in the runtime band of machine/message.hpp.
+// iteration.  Both passes are pairwise exchanges over the view's ranks,
+// issued through detail::issue_exchange like every other dense exchange in
+// the runtime (round-structured by default); their tags are registered in
+// the runtime band of machine/message.hpp.
+//
+// Pairs with nothing to say are skipped entirely: the inspector
+// all_gathers a tiny presence matrix (one byte per peer pair) so both
+// sides of every empty request list agree to drop the request *and* data
+// messages for that pair — irregular patterns with locality then cost
+// O(active pairs) messages instead of O(P²).  The per-tag send/recv
+// ledgers (MachineStats::sent_msgs/recv_msgs) are how the tests prove the
+// skip drops only messages that would have carried nothing.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "machine/collectives.hpp"
 #include "machine/schedule.hpp"
 #include "runtime/dist_array.hpp"
 
@@ -53,8 +63,24 @@ class GatherPlan {
     }
     ctx.compute(static_cast<double>(wants.size()));  // inspector index math
 
-    // Exchange request lists pairwise (self handled locally), issued
-    // through the shared schedule dispatch.
+    // Presence matrix: one byte per peer saying "I will request from you",
+    // all_gathered in view order (Group preserves it, so matrix row j is
+    // member j's row).  One tiny collective buys both endpoints of every
+    // empty pair certain agreement to skip it — without it each pair would
+    // have to exchange its emptiness, which is the message we are deleting.
+    std::vector<std::uint8_t> presence(np, 0);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      presence[pi] =
+          (plan.peers_[pi] != plan.self_rank_ && !requests[pi].empty()) ? 1
+                                                                        : 0;
+    }
+    const Group g(plan.peers_, plan.self_rank_);
+    const std::vector<std::uint8_t> matrix = all_gather(
+        ctx, g, std::span<const std::uint8_t>(presence), order);
+    const std::size_t my_pi = static_cast<std::size_t>(g.index());
+
+    // Exchange the non-empty request lists pairwise (self handled locally),
+    // issued through the shared schedule dispatch.
     plan.send_indices_.assign(np, {});
     const std::vector<int> members = detail::union_members(plan.peers_, {});
     std::vector<std::pair<int, std::size_t>> out;
@@ -64,8 +90,12 @@ class GatherPlan {
         plan.send_indices_[pi] = requests[pi];  // local "sends" to myself
         continue;
       }
-      out.emplace_back(plan.peers_[pi], pi);
-      in.emplace_back(plan.peers_[pi], pi);
+      if (presence[pi] != 0) {
+        out.emplace_back(plan.peers_[pi], pi);
+      }
+      if (matrix[pi * np + my_pi] != 0) {
+        in.emplace_back(plan.peers_[pi], pi);
+      }
     }
     auto send_one = [&](int rank, std::size_t pi) {
       ctx.send_span<int>(rank, kTagInspReq,
@@ -106,6 +136,10 @@ class GatherPlan {
       ctx.compute(static_cast<double>(spots.size()));
     }
 
+    // Only pairs with traffic: send_indices_[pi] is non-empty exactly when
+    // peer pi's request list reached us in the inspector (their presence
+    // bit), and recv_slots_[pi] exactly when we requested from pi — the two
+    // sides of each skipped pair agreed on emptiness at plan build.
     const std::vector<int> members = detail::union_members(peers_, {});
     std::vector<std::pair<int, std::size_t>> out;
     std::vector<std::pair<int, std::size_t>> in;
@@ -113,8 +147,12 @@ class GatherPlan {
       if (peers_[pi] == self_rank_) {
         continue;
       }
-      out.emplace_back(peers_[pi], pi);
-      in.emplace_back(peers_[pi], pi);
+      if (!send_indices_[pi].empty()) {
+        out.emplace_back(peers_[pi], pi);
+      }
+      if (!recv_slots_[pi].empty()) {
+        in.emplace_back(peers_[pi], pi);
+      }
     }
     std::vector<T> buf;
     double packed = 0;

@@ -1,0 +1,134 @@
+// Wait-for-graph deadlock detection (machine/deadlock.hpp): a blocked recv
+// publishes its wait edge, and the instant no rank (nor queued message) can
+// satisfy a waiter the run aborts with a full per-rank diagnostic — instead
+// of hanging until the wall-clock recv timeout, which stays as a fallback
+// for the open-ended stalls the graph check cannot prove dead.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/context.hpp"
+#include "machine/machine.hpp"
+#include "machine/message.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+namespace {
+
+MachineConfig quiet_config() {
+  MachineConfig cfg;
+  cfg.recv_timeout_wall = 10.0;  // far fallback; detection must beat it
+  return cfg;
+}
+
+std::string run_expecting_error(Machine& m,
+                                const std::function<void(Context&)>& prog) {
+  try {
+    m.run(prog);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "program completed without the expected Error";
+  return {};
+}
+
+TEST(Deadlock, TwoRankCycleDetectedInstantly) {
+  Machine m(2, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    // 0 waits on 1 and 1 waits on 0; neither ever sends.
+    (void)ctx.recv<int>(1 - ctx.rank(), /*tag=*/5);
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  EXPECT_NE(what.find("STUCK"), std::string::npos) << what;
+}
+
+TEST(Deadlock, FourRankCycleNamesEveryBlockedRank) {
+  Machine m(4, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    (void)ctx.recv<int>((ctx.rank() + 1) % 4, /*tag=*/5);
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  // The dump names every blocked rank with its expected (src, tag).
+  for (int r = 0; r < 4; ++r) {
+    const std::string line = "rank " + std::to_string(r) +
+                             ": STUCK in recv(src=" +
+                             std::to_string((r + 1) % 4) + ", tag=5";
+    EXPECT_NE(what.find(line), std::string::npos) << what;
+  }
+}
+
+TEST(Deadlock, TagMismatchCaughtWhenSenderRetires) {
+  Machine m(2, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, /*tag=*/5, 42);  // wrong tag, then rank 0 finishes
+    } else {
+      (void)ctx.recv<int>(0, /*tag=*/6);  // waits forever on tag 6
+    }
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  EXPECT_NE(what.find("recv(src=0, tag=6"), std::string::npos) << what;
+  // The dump shows the mismatched message still queued in the mailbox.
+  EXPECT_NE(what.find("tag 5"), std::string::npos) << what;
+}
+
+TEST(Deadlock, PartialGroupStallDetectedWhileOthersWork) {
+  Machine m(4, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    if (ctx.rank() < 2) {
+      // Ranks 0 and 1 are healthy: a clean exchange, then done.
+      ctx.send(1 - ctx.rank(), /*tag=*/7, ctx.rank());
+      (void)ctx.recv<int>(1 - ctx.rank(), /*tag=*/7);
+    } else {
+      // Ranks 2 and 3 deadlock on each other.
+      (void)ctx.recv<int>(ctx.rank() == 2 ? 3 : 2, /*tag=*/5);
+    }
+  });
+  EXPECT_NE(what.find("rank 2: STUCK in recv(src=3, tag=5"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("rank 3: STUCK in recv(src=2, tag=5"),
+            std::string::npos)
+      << what;
+}
+
+TEST(Deadlock, AnySourceStallDetectedWhenNoSenderRemains) {
+  Machine m(4, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    // Everyone waits on "anyone" — nobody will ever send.
+    (void)ctx.recv<int>(kAnySource, /*tag=*/5);
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  EXPECT_NE(what.find("recv(src=any, tag=5"), std::string::npos) << what;
+}
+
+TEST(Deadlock, QueuedMatchKeepsWaiterAliveWhenSenderRetires) {
+  // A sender that has already pushed the match may finish while the
+  // receiver is still blocked: the waiter is live (its pop succeeds), and
+  // mark_done must not flag it.
+  Machine m(2, quiet_config());
+  m.run([](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, /*tag=*/5, 99);
+    } else {
+      EXPECT_EQ(ctx.recv<int>(0, /*tag=*/5), 99);
+    }
+  });
+}
+
+TEST(Deadlock, DisabledDetectionFallsBackToWallClockTimeout) {
+  MachineConfig cfg;
+  cfg.deadlock_detection = false;
+  cfg.recv_timeout_wall = 0.2;  // keep the test fast
+  Machine m(2, cfg);
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    (void)ctx.recv<int>(1 - ctx.rank(), /*tag=*/5);
+  });
+  EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+  EXPECT_NE(what.find("detection is disabled"), std::string::npos) << what;
+}
+
+}  // namespace
+}  // namespace kali

@@ -55,9 +55,43 @@ TEST(Inspector, SelfGatherUsesNoMessages) {
     }
     EXPECT_EQ(plan.send_volume(), 0u);
   });
-  // Inspector exchanges empty request lists; executor sends no data beyond
-  // those (empty) messages' payloads.
-  EXPECT_EQ(m.stats().totals().bytes_sent, 0u);
+  // Every request list was empty, so the presence matrix told both sides of
+  // each pair to skip it outright: the per-tag ledgers must show zero
+  // inspector traffic (the only messages sent are the presence all_gather's
+  // collective-band ones).
+  EXPECT_EQ(m.stats().sent_msgs(kTagInspReq), 0u);
+  EXPECT_EQ(m.stats().sent_msgs(kTagInspData), 0u);
+  EXPECT_TRUE(m.stats().unmatched_by_tag().empty());
+}
+
+TEST(Inspector, EmptyPairsAreSkippedNotSentEmpty) {
+  // 3 ranks; every rank requests only from its right neighbour (mod 3), so
+  // of the 6 ordered remote pairs only 3 carry traffic.  The skip must
+  // drop exactly the empty pairs' request and data messages — proven by
+  // the per-tag send ledgers — while the fetched values stay correct.
+  Machine m(3, quiet_config());
+  m.run([](Context& ctx) {
+    ProcView pv = ProcView::grid1(3);
+    DistArray1<double> a(ctx, pv, {12}, {DimDist::block_dist()});
+    a.fill([](std::array<int, 1> g) { return 7.0 * g[0]; });
+    const int right = (ctx.rank() + 1) % 3;
+    std::vector<int> wants;
+    for (int l = 0; l < 4; ++l) {
+      wants.push_back(4 * right + l);  // right neighbour's whole block
+    }
+    auto plan = GatherPlan::build(a, wants);
+    auto vals = plan.execute(a);
+    for (std::size_t k = 0; k < wants.size(); ++k) {
+      EXPECT_DOUBLE_EQ(vals[k], 7.0 * wants[k]);
+    }
+  });
+  // One request and one data message per active ordered pair; the 3 empty
+  // pairs send nothing at all.
+  EXPECT_EQ(m.stats().sent_msgs(kTagInspReq), 3u);
+  EXPECT_EQ(m.stats().sent_msgs(kTagInspData), 3u);
+  EXPECT_EQ(m.stats().recv_msgs(kTagInspReq), 3u);
+  EXPECT_EQ(m.stats().recv_msgs(kTagInspData), 3u);
+  EXPECT_TRUE(m.stats().unmatched_by_tag().empty());
 }
 
 TEST(Inspector, PlanIsReusableAcrossValueChanges) {

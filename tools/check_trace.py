@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Offline communication-trace verifier for the kali machine layer.
+
+Consumes the MessageTrace serialization (src/machine/trace.hpp write()):
+
+    kali-trace 1 <nprocs>
+    S <rank> <peer> <tag> <seq> <bytes> <epoch>
+    R <rank> <peer> <tag> <seq> <bytes> <epoch>
+
+one line per event in per-rank program order ('#' lines are comments).  For
+'S' the peer is the destination and epoch is the sender's sync_clocks epoch
+at send time; for 'R' the peer is the source and epoch is the *receiver's*
+epoch at receive time, so a matched pair with differing epochs straddled a
+barrier.
+
+Checks, by rule id (--list-rules; docs/static-analysis.md tables this list
+and scripts/check_docs.sh fails on drift):
+
+  trace-format    header/line syntax, ranks in range, matched send/recv
+                  payload sizes agree, no duplicate (src, dst, tag, seq)
+  bad-tag         every sent tag lies in a registered band of the
+                  reserved-tag registry (mirrors is_registered_tag in
+                  src/machine/message.hpp — keep the two in sync)
+  unmatched-send  a message was sent and never received (the online
+                  counterpart is the sync_clocks/teardown leak check)
+  unmatched-recv  a receive consumed a message no send produced
+  epoch-straddle  a matched pair crosses a sync_clocks barrier
+  fifo-overtake   per (src, dst, tag) sequence numbers must increase in
+                  both the sender's and the receiver's program order
+                  (MPI-1 non-overtaking, the mailbox's FIFO guarantee)
+
+Like tools/lint_kali.py, the verifier is itself under test: --self-test
+replays tools/trace_fixtures/*.trace, where each fixture's `# EXPECT:` line
+names `pass` or exactly the rule it must trip, and fails on any mismatch in
+either direction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+RULES = (
+    "trace-format",
+    "bad-tag",
+    "unmatched-send",
+    "unmatched-recv",
+    "epoch-straddle",
+    "fifo-overtake",
+)
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "trace_fixtures"
+
+# --- reserved-tag registry mirror (src/machine/message.hpp) -----------------
+# Keep in sync with is_registered_tag(); the docs CI job checks the C++ side.
+
+RUNTIME_TAG_BASE = 1 << 20
+KERNEL_TAG_BASE = 1 << 22
+COLLECTIVE_TAG_BASE = 1 << 24
+TAG_HALO_BASE = RUNTIME_TAG_BASE
+TAG_REDIST_DATA = RUNTIME_TAG_BASE + 16
+TAG_REMAP = RUNTIME_TAG_BASE + 17
+TAG_HALO_CORNER_BASE = RUNTIME_TAG_BASE + 32
+TAG_HALO_CORNER_PACK = RUNTIME_TAG_BASE + 60
+TAG_INSP_REQ = RUNTIME_TAG_BASE + 64
+TAG_INSP_DATA = RUNTIME_TAG_BASE + 65
+
+
+def is_registered_tag(tag: int) -> bool:
+    if tag < 0:
+        return False
+    if tag < RUNTIME_TAG_BASE:
+        return True  # user band
+    if tag < KERNEL_TAG_BASE:
+        return (
+            TAG_HALO_BASE <= tag < TAG_HALO_BASE + 12
+            or tag in (TAG_REDIST_DATA, TAG_REMAP)
+            or TAG_HALO_CORNER_BASE <= tag < TAG_HALO_CORNER_BASE + 27
+            or tag == TAG_HALO_CORNER_PACK
+            or tag in (TAG_INSP_REQ, TAG_INSP_DATA)
+        )
+    if tag < COLLECTIVE_TAG_BASE:
+        return True  # kernel band: parameterized allocations
+    return COLLECTIVE_TAG_BASE + 1 <= tag <= COLLECTIVE_TAG_BASE + 7
+
+
+# --- verifier ---------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rule: str, where: str, message: str) -> None:
+        assert rule in RULES, rule
+        self.rule = rule
+        self.where = where
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.where}: [{self.rule}] {self.message}"
+
+
+def verify(path: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def bad(rule: str, lineno: int, message: str) -> None:
+        findings.append(Finding(rule, f"{path}:{lineno}", message))
+
+    lines = path.read_text().splitlines()
+    nprocs = None
+    # (kind, rank, peer, tag, seq, bytes, epoch, lineno), malformed excluded
+    events = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if nprocs is None:
+            parts = line.split()
+            if len(parts) != 3 or parts[0] != "kali-trace" or parts[1] != "1":
+                bad("trace-format", lineno,
+                    f"expected 'kali-trace 1 <nprocs>' header, got {line!r}")
+                return findings
+            try:
+                nprocs = int(parts[2])
+            except ValueError:
+                nprocs = -1
+            if nprocs < 1:
+                bad("trace-format", lineno, f"bad processor count {parts[2]!r}")
+                return findings
+            continue
+        parts = line.split()
+        if len(parts) != 7 or parts[0] not in ("S", "R"):
+            bad("trace-format", lineno,
+                "expected 'S|R <rank> <peer> <tag> <seq> <bytes> <epoch>', "
+                f"got {line!r}")
+            continue
+        try:
+            rank, peer, tag, seq, nbytes, epoch = (int(p) for p in parts[1:])
+        except ValueError:
+            bad("trace-format", lineno, f"non-integer field in {line!r}")
+            continue
+        if not (0 <= rank < nprocs) or not (0 <= peer < nprocs):
+            bad("trace-format", lineno,
+                f"rank/peer outside [0, {nprocs}) in {line!r}")
+            continue
+        if seq < 0 or nbytes < 0 or epoch < 0:
+            bad("trace-format", lineno, f"negative field in {line!r}")
+            continue
+        events.append((parts[0], rank, peer, tag, seq, nbytes, epoch, lineno))
+    if nprocs is None:
+        bad("trace-format", len(lines) + 1, "missing 'kali-trace' header")
+        return findings
+
+    # Tag-registry membership, checked at the send like the online invariant.
+    for kind, rank, peer, tag, _seq, _b, _e, lineno in events:
+        if kind == "S" and not is_registered_tag(tag):
+            bad("bad-tag", lineno,
+                f"send {rank} -> {peer} uses tag {tag}, which is not inside "
+                "a registered band of the reserved-tag registry")
+
+    # Send/recv matching on the unique key (src, dst, tag, seq).
+    sends = {}  # key -> (bytes, epoch, lineno)
+    for kind, rank, peer, tag, seq, nbytes, epoch, lineno in events:
+        if kind != "S":
+            continue
+        key = (rank, peer, tag, seq)
+        if key in sends:
+            bad("trace-format", lineno,
+                f"duplicate send key (src={rank}, dst={peer}, tag={tag}, "
+                f"seq={seq})")
+            continue
+        sends[key] = (nbytes, epoch, lineno)
+    matched = set()
+    for kind, rank, peer, tag, seq, nbytes, epoch, lineno in events:
+        if kind != "R":
+            continue
+        key = (peer, rank, tag, seq)
+        if key not in sends:
+            bad("unmatched-recv", lineno,
+                f"recv on rank {rank} of (src={peer}, tag={tag}, seq={seq}) "
+                "matches no send in the trace")
+            continue
+        matched.add(key)
+        s_bytes, s_epoch, s_lineno = sends[key]
+        if nbytes != s_bytes:
+            bad("trace-format", lineno,
+                f"recv of (src={peer}, tag={tag}, seq={seq}) reports "
+                f"{nbytes} B but the send (line {s_lineno}) reports "
+                f"{s_bytes} B")
+        if epoch != s_epoch:
+            bad("epoch-straddle", lineno,
+                f"message (src={peer}, dst={rank}, tag={tag}, seq={seq}) "
+                f"sent at epoch {s_epoch} (line {s_lineno}) but received at "
+                f"epoch {epoch}: it straddles a sync_clocks barrier")
+    for key, (_b, _e, s_lineno) in sorted(sends.items(),
+                                          key=lambda kv: kv[1][2]):
+        if key not in matched:
+            src, dst, tag, seq = key
+            bad("unmatched-send", s_lineno,
+                f"message (src={src}, dst={dst}, tag={tag}, seq={seq}) was "
+                "sent but never received (leaked)")
+
+    # FIFO non-overtaking: per (src, dst, tag), seq must increase in the
+    # sender's program order and in the receiver's consumption order.
+    last_seq: dict = {}
+    for kind, rank, peer, tag, seq, _b, _e, lineno in events:
+        chan = (kind, rank, peer, tag)
+        if chan in last_seq and seq <= last_seq[chan][0]:
+            prev_seq, prev_line = last_seq[chan]
+            side = "sent" if kind == "S" else "consumed"
+            src, dst = (rank, peer) if kind == "S" else (peer, rank)
+            bad("fifo-overtake", lineno,
+                f"channel (src={src}, dst={dst}, tag={tag}): seq {seq} "
+                f"{side} after seq {prev_seq} (line {prev_line}) — "
+                "non-overtaking order violated")
+        last_seq[chan] = (seq, lineno)
+
+    findings.sort(key=lambda f: f.where)
+    return findings
+
+
+# --- self-test --------------------------------------------------------------
+
+
+def expected_outcome(path: pathlib.Path) -> str:
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line.startswith("# EXPECT:"):
+            return line[len("# EXPECT:"):].strip()
+    raise SystemExit(f"{path}: fixture has no '# EXPECT:' line")
+
+
+def self_test() -> int:
+    fixtures = sorted(FIXTURE_DIR.glob("*.trace"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {FIXTURE_DIR}", file=sys.stderr)
+        return 1
+    failures = 0
+    covered = set()
+    for fx in fixtures:
+        expect = expected_outcome(fx)
+        got = {f.rule for f in verify(fx)}
+        if expect == "pass":
+            covered.add("pass")
+            if got:
+                print(f"self-test FAIL: {fx.name} expected to pass but "
+                      f"tripped {sorted(got)}", file=sys.stderr)
+                failures += 1
+        else:
+            if expect not in RULES:
+                print(f"self-test FAIL: {fx.name} expects unknown rule "
+                      f"{expect!r}", file=sys.stderr)
+                failures += 1
+                continue
+            covered.add(expect)
+            if got != {expect}:
+                print(f"self-test FAIL: {fx.name} expected exactly "
+                      f"{{{expect!r}}} but tripped {sorted(got)}",
+                      file=sys.stderr)
+                failures += 1
+    missing = set(RULES) - covered
+    if missing:
+        print(f"self-test FAIL: no fixture exercises {sorted(missing)}",
+              file=sys.stderr)
+        failures += 1
+    if "pass" not in covered:
+        print("self-test FAIL: no passing fixture", file=sys.stderr)
+        failures += 1
+    if failures == 0:
+        print(f"trace-verifier self-test OK "
+              f"({len(fixtures)} fixtures, {len(RULES)} rules)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="*", type=pathlib.Path,
+                    help="trace files to verify")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the verifier against tools/trace_fixtures/")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print rule ids, one per line")
+    args = ap.parse_args(argv)
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+    if args.self_test:
+        return self_test()
+    if not args.traces:
+        ap.error("no trace files given (or use --self-test / --list-rules)")
+    total = 0
+    for path in args.traces:
+        findings = verify(path)
+        for f in findings:
+            print(f, file=sys.stderr)
+        total += len(findings)
+        if not findings:
+            print(f"{path}: OK")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,6 +23,14 @@ compiler never checks.  This linter enforces the written rules:
                  detail::issue_exchange (i.e. live inside the send_one /
                  recv_one closures it dispatches), so every dense exchange
                  obeys the round-structured CommSchedule.
+  collective-symmetry
+                 In src/runtime/, src/kernels/, and src/solvers/, no
+                 collective or barrier call (barrier/sync_clocks/
+                 allreduce*/broadcast/reduce/gather/all_gather/
+                 exchange_halo) nested under a rank-dependent conditional:
+                 a collective only some group members enter deadlocks the
+                 rest (the wait-for-graph detector catches it at run time;
+                 this catches it at lint time).
 
 A finding can be waived in place with a reasoned pragma on the same line
 or the line above:
@@ -48,6 +56,7 @@ RULES = (
     "wall-clock",
     "layering",
     "raw-exchange",
+    "collective-symmetry",
 )
 
 # Layer DAG: which layers each layer's headers may include.  `support` is
@@ -81,6 +90,21 @@ WALL_CLOCK_RES = (
 )
 CTX_CALL_RE = re.compile(r"\bctx_?(?:\.|->)\s*(?:send|recv)\w*\s*(?:<[^()]*>)?\(")
 EXCHANGE_LAMBDA_RE = re.compile(r"\bauto\s+(send_one|recv_one)\s*=\s*\[")
+# A call into the collectives layer (or a collective-shaped runtime entry
+# point).  `gather` is anchored so `all_gather` is not double-counted and
+# `exchange_halo` does not swallow `exchange_halo_corners` (an internal
+# helper, not an entry point).
+COLLECTIVE_CALL_RE = re.compile(
+    r"\b(?:barrier|sync_clocks|allreduce(?:_sum|_max)?|broadcast|reduce"
+    r"|gather|all_gather|exchange_halo)\s*\(")
+CONDITIONAL_RE = re.compile(r"\b(?:if|while|for|switch)\s*\(")
+# Tokens that make a conditional rank-dependent: the SPMD rank, a group
+# index, or a processor-grid coordinate.  Group membership alone
+# (g.contains(...)) is deliberately not matched — calling a collective on a
+# group one participates in is the correct pattern.
+RANK_TOKEN_RE = re.compile(
+    r"\brank\b|\.rank\s*\(\)|->rank\s*\(\)|\.index\s*\(\)|"
+    r"\bmy_coord\b|\bview_coord\b")
 
 
 class Finding:
@@ -248,6 +272,40 @@ def lint_file(root, relpath, findings):
                 report(i, "raw-tag",
                        "integer-literal message tag at a send/recv call "
                        "site; use a registered kTag* constant")
+
+    # --- collective-symmetry (layers above machine) -------------------------
+    # Flag collective/barrier calls nested under rank-dependent conditionals:
+    # every member of the group must reach a collective, so gating one on
+    # the caller's rank/index/grid coordinate deadlocks the rest.  The
+    # machine layer itself is exempt (the collectives' tree implementations
+    # legitimately branch on the member index).
+    if layer in ("runtime", "kernels", "solvers"):
+        guard_stack = []  # brace depths at which a rank-guard opened
+        pending_guard = False  # unbraced guard: covers the next code line
+        depth = 0
+        for i, line in enumerate(code):
+            is_guard = bool(CONDITIONAL_RE.search(line) and
+                            RANK_TOKEN_RE.search(line))
+            if (guard_stack or pending_guard or is_guard) and \
+                    COLLECTIVE_CALL_RE.search(line):
+                report(i, "collective-symmetry",
+                       "collective/barrier call under a rank-dependent "
+                       "conditional: members skipping it deadlock the rest "
+                       "of the group")
+            if pending_guard:
+                if "{" in line:
+                    guard_stack.append(depth)
+                    pending_guard = False
+                elif line.strip():  # the single guarded statement
+                    pending_guard = False
+            if is_guard:
+                if "{" in line:
+                    guard_stack.append(depth)
+                else:
+                    pending_guard = True
+            depth += line.count("{") - line.count("}")
+            while guard_stack and depth <= guard_stack[-1] and "}" in line:
+                guard_stack.pop()
 
     # --- raw-exchange (runtime only) ----------------------------------------
     if layer == "runtime":
