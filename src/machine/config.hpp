@@ -83,6 +83,20 @@ struct MachineConfig {
   /// pre-hybrid clocks.
   std::size_t allgather_tree_max_bytes = 1024;
 
+  // --- simulation host execution (not part of the cost model) ---
+  /// Host worker threads the fiber scheduler multiplexes the simulated
+  /// ranks onto (machine/scheduler.hpp).  0 = one per hardware thread.
+  /// Any value produces bit-identical clocks, stats, and traces — the
+  /// per-rank sharding of all simulated state guarantees it, and the
+  /// scheduler-determinism tests assert it for {1, 4, hardware}.
+  int sim_workers = 0;
+
+  /// Bytes of stack per simulated rank's fiber.  0 = build default
+  /// (256 KiB, or 1 MiB under a sanitizer).  Populations of at most 4096
+  /// ranks also get a guard page under each stack; larger ones drop the
+  /// guards to stay inside the kernel's VMA budget (machine/fiber.hpp).
+  std::size_t fiber_stack_bytes = 0;
+
   // --- harness behaviour (not part of the cost model) ---
   /// Wall-clock seconds a blocking recv waits before failing.  This is the
   /// *fallback* deadlock guard; a correct program never hits it, and with

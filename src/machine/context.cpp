@@ -59,7 +59,7 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
     }
     case LinkContention::kStoreForward: {
       // Multi-port injection: the first edge of the route — this node's
-      // link toward the first hop — is owned by the sending thread, so
+      // link toward the first hop — is owned by the sending rank, so
       // sends sharing a first hop serialize here.  Self-sends have no
       // edges and stay pure software.
       if (dst != rank()) {
@@ -122,7 +122,7 @@ Message Context::recv_message(int src, int tag) {
       // Single-port ejection: the first byte can reach this node at
       // `nominal`, but the incoming link carries one message at a time.
       // Contention is resolved in receive (program) order — deterministic
-      // because the ejection clock belongs to this thread alone.
+      // because the ejection clock belongs to this rank alone.
       const double nominal =
           m.send_time + machine_->wire_latency(m.src, rank());
       const double start = std::max(nominal, self_->in_link_free());

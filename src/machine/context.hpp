@@ -15,7 +15,7 @@
 //          out_link_free = send_time + bytes * byte_time
 //   recv:  start = max(send_time + latency_eff, in_link_free)
 //          arrival = start + bytes * byte_time;  in_link_free = arrival
-// Both port clocks are owned by their processor's thread, so contention
+// Both port clocks are owned by their processor's fiber, so contention
 // resolution stays deterministic (ejection conflicts resolve in receive
 // order).
 //
@@ -31,8 +31,8 @@
 // so an uncontended h-hop message costs latency + (h-1) per_hop +
 // h * wire.  busy(e) considers only ledger entries with a smaller
 // (send_time, src, seq) key, and the ledger is sharded per resolving
-// thread — the sender owns its first-hop edges, the receiver everything
-// after — so resolution never races host threads: repeated runs produce
+// rank — the sender owns its first-hop edges, the receiver everything
+// after — so resolution never races host scheduling: repeated runs produce
 // bit-identical clocks.  The sharding is the model's approximation: edges
 // shared by messages converging on one receiver queue (tree saturation),
 // while messages to different receivers occupy independent copies of an
@@ -105,7 +105,9 @@ class Context {
     Message m = recv_message(src, tag);
     KALI_CHECK(m.size_bytes() % sizeof(T) == 0, "span recv size mismatch");
     std::vector<T> out(m.size_bytes() / sizeof(T));
-    std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+    if (!out.empty()) {  // empty payloads are legal; memcpy(null, ..) is not
+      std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+    }
     return out;
   }
 
@@ -114,7 +116,9 @@ class Context {
     static_assert(std::is_trivially_copyable_v<T>);
     Message m = recv_message(src, tag);
     KALI_CHECK(m.size_bytes() == out.size_bytes(), "recv_into size mismatch");
-    std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+    if (!out.empty()) {
+      std::memcpy(out.data(), m.payload.data(), m.size_bytes());
+    }
   }
 
  private:

@@ -1,0 +1,161 @@
+#include "machine/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+#if defined(KALI_FIBER_ASAN) || defined(KALI_FIBER_TSAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(KALI_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace kali {
+
+// ---------------------------------------------------------------------------
+// FiberStackArena
+// ---------------------------------------------------------------------------
+
+FiberStackArena::FiberStackArena(int nstacks, std::size_t stack_bytes) {
+  KALI_CHECK(nstacks >= 1, "fiber arena needs at least one stack");
+  KALI_CHECK(stack_bytes >= 16 * 1024, "fiber stack too small to be usable");
+  page_ = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  stack_bytes_ = (stack_bytes + page_ - 1) & ~(page_ - 1);
+  nstacks_ = nstacks;
+  guarded_ = nstacks <= kGuardMaxStacks;
+  stride_ = stack_bytes_ + (guarded_ ? page_ : 0);
+  map_bytes_ = stride_ * static_cast<std::size_t>(nstacks) +
+               (guarded_ ? page_ : 0);  // trailing guard above the last stack
+  void* p = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  KALI_CHECK(p != MAP_FAILED, "fiber arena: mmap of stack slab failed");
+  base_ = static_cast<char*>(p);
+  if (guarded_) {
+    // Layout: [guard][stack 0][guard][stack 1]...[stack n-1][guard].
+    for (int i = 0; i <= nstacks; ++i) {
+      char* g = base_ + static_cast<std::size_t>(i) * stride_;
+      KALI_CHECK(mprotect(g, page_, PROT_NONE) == 0,
+                 "fiber arena: mprotect guard page failed");
+    }
+  }
+}
+
+FiberStackArena::~FiberStackArena() {
+  if (base_ != nullptr) {
+    munmap(base_, map_bytes_);
+  }
+}
+
+void* FiberStackArena::stack_bottom(int i) const {
+  KALI_CHECK(i >= 0 && i < nstacks_, "fiber arena: stack index out of range");
+  const std::size_t off =
+      static_cast<std::size_t>(i) * stride_ + (guarded_ ? page_ : 0);
+  return base_ + off;
+}
+
+// ---------------------------------------------------------------------------
+// FiberContext + fiber_switch
+// ---------------------------------------------------------------------------
+
+FiberContext::~FiberContext() { destroy(); }
+
+void FiberContext::init_host() {
+#if defined(KALI_FIBER_TSAN)
+  tsan_fiber_ = __tsan_get_current_fiber();
+  owns_tsan_fiber_ = false;  // the thread's implicit fiber — never destroyed
+#endif
+}
+
+void FiberContext::destroy() {
+#if defined(KALI_FIBER_TSAN)
+  if (owns_tsan_fiber_ && tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
+  tsan_fiber_ = nullptr;
+  owns_tsan_fiber_ = false;
+}
+
+void fiber_entry_annotations(FiberContext& self) {
+#if defined(KALI_FIBER_ASAN)
+  // First entry: no fake stack of our own to restore (nullptr); capture the
+  // resuming worker's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self.peer_bottom_,
+                                  &self.peer_size_);
+#else
+  (void)self;
+#endif
+}
+
+void FiberContext::run_from_trampoline() {
+  fiber_entry_annotations(*this);
+  entry_(arg_);
+  // entry never returns: it ends in fiber_switch(..., from_dying = true).
+  // Reaching the end of a makecontext function with no uc_link aborts the
+  // process, so the contract is load-bearing, not stylistic.
+  KALI_CHECK(false, "fiber entry function returned instead of switching out");
+  __builtin_unreachable();
+}
+
+namespace {
+
+// makecontext only passes ints, so the FiberContext pointer travels as two
+// 32-bit halves through the trampoline.
+extern "C" void kali_fiber_trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<FiberContext*>(bits)->run_from_trampoline();
+}
+
+}  // namespace
+
+void FiberContext::init_fiber(void* stack_bottom, std::size_t stack_bytes,
+                              void (*entry)(void*), void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  asan_bottom_ = stack_bottom;
+  asan_size_ = stack_bytes;
+  KALI_CHECK(getcontext(&uc_) == 0, "fiber: getcontext failed");
+  uc_.uc_stack.ss_sp = stack_bottom;
+  uc_.uc_stack.ss_size = stack_bytes;
+  uc_.uc_link = nullptr;
+  const auto bits = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&uc_, reinterpret_cast<void (*)()>(&kali_fiber_trampoline), 2,
+              static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+#if defined(KALI_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+  owns_tsan_fiber_ = true;
+#endif
+}
+
+void fiber_switch(FiberContext& from, FiberContext& to, bool from_dying) {
+#if defined(KALI_FIBER_ASAN)
+  // The save handle lives on the suspended stack at its suspension point:
+  // start_switch detaches `from`'s fake stack into it, and the matching
+  // finish below — which runs only when something switches back into
+  // `from` — reattaches it.  A dying fiber passes nullptr so ASan frees
+  // its fake stack instead of leaking one per simulated rank.
+  void* fake_stack_save = nullptr;
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &fake_stack_save,
+                                 to.asan_bottom_, to.asan_size_);
+#else
+  (void)from_dying;
+#endif
+#if defined(KALI_FIBER_TSAN)
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
+#endif
+  swapcontext(&from.uc_, &to.uc_);
+  // Control returns here when `from` is next resumed (possibly on a
+  // different worker thread).
+#if defined(KALI_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(fake_stack_save, &from.peer_bottom_,
+                                  &from.peer_size_);
+#endif
+}
+
+}  // namespace kali

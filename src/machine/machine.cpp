@@ -1,9 +1,12 @@
 #include "machine/machine.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
+#include <limits>
+#include <mutex>
 
 #include "machine/context.hpp"
+#include "machine/scheduler.hpp"
 #include "machine/topology.hpp"
 #include "support/check.hpp"
 
@@ -55,36 +58,44 @@ void Machine::run(const std::function<void(Context&)>& program) {
   if (detector_) {
     detector_->reset();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    threads.emplace_back([&, r] {
-      Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
-      try {
-        program(ctx);
-        // Retire this rank in the wait-for graph: peers still waiting on
-        // it may have just become unsatisfiable, which mark_done detects
-        // (the throw lands in the catch below like any program error).
-        if (detector_) {
-          detector_->mark_done(r);
-        }
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lk(error_mu);
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-        }
-        failed.store(true);
-        // Wake every blocked peer so the whole run unwinds promptly.
-        for (auto& q : procs_) {
-          q->mailbox().abort();
+  // One fiber per rank on a fixed worker pool; an unmatched recv parks
+  // its fiber (mailbox.cpp recv_fiber) instead of blocking a host thread.
+  FiberScheduler sched(p, cfg_.sim_workers, cfg_.recv_timeout_wall,
+                       cfg_.fiber_stack_bytes);
+  for (auto& q : procs_) {
+    q->mailbox().attach_scheduler(&sched, q->rank());
+  }
+  active_sched_ = &sched;
+  sched.run([&](int r) {
+    Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
+    try {
+      program(ctx);
+      // Retire this rank in the wait-for graph: peers still waiting on
+      // it may have just become unsatisfiable, which mark_done detects
+      // (the throw lands in the catch below like any program error).
+      if (detector_) {
+        detector_->mark_done(r);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
         }
       }
-    });
-  }
-  for (auto& t : threads) {
-    t.join();
+      failed.store(true);
+      // Wake every blocked peer so the whole run unwinds promptly —
+      // mailboxes first (parked recvs), then the scheduler (quiesce
+      // parks and any park still in flight).
+      for (auto& q : procs_) {
+        q->mailbox().abort();
+      }
+      sched.abort();
+    }
+  });
+  active_sched_ = nullptr;
+  for (auto& q : procs_) {
+    q->mailbox().attach_scheduler(nullptr, -1);
   }
   if (failed.load()) {
     std::rethrow_exception(first_error);
@@ -123,6 +134,27 @@ void Machine::reset_stats() {
   for (auto& p : procs_) {
     p->reset();
   }
+}
+
+void Machine::quiesce_compact() {
+  KALI_CHECK(active_sched_ != nullptr,
+             "compact_edge_ledgers: no machine run in progress");
+  active_sched_->quiesce([this] {
+    // Every fiber but this one is suspended, so all rank-sharded state is
+    // safe to read.  Floor F: no future edge reservation anywhere can
+    // carry a key with send_time < F — new sends are stamped at or above
+    // the sender's clock (clocks never move backwards inside a phase, and
+    // sync_clocks realigns upward), and a queued message's future receive
+    // replays its recorded send_time.
+    double floor = std::numeric_limits<double>::infinity();
+    for (const auto& q : procs_) {
+      floor = std::min(floor, q->clock());
+      floor = std::min(floor, q->mailbox().min_pending_send_time());
+    }
+    for (auto& q : procs_) {
+      q->compact_edge_ledgers(floor);
+    }
+  });
 }
 
 }  // namespace kali

@@ -2,9 +2,11 @@
 // spaces, point-to-point messaging, and a deterministic simulated clock.
 //
 // Machine::run executes an SPMD program: the same callable on every
-// processor thread, exactly like the node program of a 1989 hypercube (or an
-// MPI rank today).  Memory isolation is by construction — processors share
-// no data except through Context::send/recv.
+// processor, exactly like the node program of a 1989 hypercube (or an MPI
+// rank today).  Each simulated rank is a cooperatively scheduled fiber on
+// a fixed worker pool (machine/scheduler.hpp) — not an OS thread — so P
+// scales to tens of thousands of ranks.  Memory isolation is by
+// construction: processors share no data except through Context::send/recv.
 #pragma once
 
 #include <exception>
@@ -20,6 +22,7 @@
 namespace kali {
 
 class Context;
+class FiberScheduler;
 class MessageTrace;
 
 class Machine {
@@ -29,10 +32,17 @@ class Machine {
   [[nodiscard]] int size() const { return static_cast<int>(procs_.size()); }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
 
-  /// Run `program` on every processor (one OS thread each) and join.
+  /// Run `program` on every processor — one fiber each, multiplexed onto
+  /// MachineConfig::sim_workers host threads — and wait for completion.
   /// If any processor throws, all others are aborted and the first
   /// exception is rethrown on the caller's thread.
   void run(const std::function<void(Context&)>& program);
+
+  /// Machine-global edge-ledger compaction (the between-barriers pruning
+  /// of store-and-forward ledgers).  Collective: every rank must call it,
+  /// from inside a run; use the compact_edge_ledgers(Context&) wrapper in
+  /// machine/collectives.hpp.  Zero simulated cost.
+  void quiesce_compact();
 
   /// Hop count between two ranks under the configured topology.
   [[nodiscard]] int hops(int a, int b) const;
@@ -73,6 +83,7 @@ class Machine {
   std::vector<std::unique_ptr<Processor>> procs_;
   std::unique_ptr<DeadlockDetector> detector_;
   MessageTrace* trace_ = nullptr;
+  FiberScheduler* active_sched_ = nullptr;  ///< non-null only inside run()
 };
 
 }  // namespace kali

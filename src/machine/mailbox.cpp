@@ -2,19 +2,45 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "machine/deadlock.hpp"
+#include "machine/scheduler.hpp"
 #include "support/check.hpp"
 
 namespace kali {
 
+namespace {
+
+[[noreturn]] void throw_recv_timeout(int src, int tag,
+                                     const DeadlockDetector* detector) {
+  throw Error("recv timed out waiting for src=" + std::to_string(src) +
+              " tag=" + std::to_string(tag) +
+              " (likely deadlock; wait-for-graph detection " +
+              (detector != nullptr ? "did not trip" : "is disabled") + ")");
+}
+
+}  // namespace
+
 void Mailbox::push(Message m) {
+  bool wake_owner = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Does this message satisfy the owner fiber's published wait?  Consume
+    // the publication under the lock so exactly one push wakes one park.
+    if (waiting_active_ && m.tag == waiting_tag_ &&
+        (waiting_src_ == kAnySource || m.src == waiting_src_)) {
+      waiting_active_ = false;
+      wake_owner = true;
+    }
     queue_.push_back(std::move(m));
     peak_pending_ = std::max(peak_pending_, queue_.size());
   }
-  cv_.notify_all();
+  if (wake_owner) {
+    // Outside the mailbox lock: lock order is mailbox, then scheduler.
+    sched_->wake(owner_rank_);
+  }
+  cv_.notify_all();  // standalone (non-fiber) waiters, if any
 }
 
 std::optional<Message> Mailbox::try_pop_locked(int src, int tag) {
@@ -37,8 +63,79 @@ bool Mailbox::has_match_locked(int src, int tag) const {
   return false;
 }
 
+void Mailbox::attach_scheduler(FiberScheduler* sched, int owner_rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sched_ = sched;
+  owner_rank_ = owner_rank;
+  waiting_active_ = false;
+}
+
+Message Mailbox::recv_fiber(int src, int tag, double timeout_wall_seconds,
+                            DeadlockDetector* detector, int self_rank) {
+  FiberScheduler* sched = sched_;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (auto m = try_pop_locked(src, tag)) {
+        return std::move(*m);
+      }
+    }
+    // Publish the wait edge with no mailbox lock held (the detector takes
+    // its own lock first, then probes mailboxes: single fixed lock order).
+    // May throw the deadlock diagnostic if this edge closes a stuck set.
+    if (detector != nullptr) {
+      detector->enter_wait(self_rank, src, tag);
+    }
+    // Announce the park, then publish the wake condition under the mailbox
+    // lock.  A push that lands in the window between the unlock below and
+    // the suspension finds the fiber kParking and flags it — the scheduler
+    // requeues it right after the switch, so the wake is never lost.
+    sched->prepare_park(timeout_wall_seconds);
+    bool parked = true;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (aborted_ || has_match_locked(src, tag)) {
+        parked = false;  // already satisfiable: don't suspend
+      } else {
+        waiting_src_ = src;
+        waiting_tag_ = tag;
+        waiting_active_ = true;
+      }
+    }
+    bool timed_out = false;
+    if (parked) {
+      timed_out = sched->commit_park();
+    } else {
+      sched->cancel_park();
+    }
+    // Deregister before looping back to pop: the detector's soundness
+    // argument needs "registered waiting" and "consuming" to be disjoint.
+    if (detector != nullptr) {
+      detector->leave_wait(self_rank);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // A timeout or abort wake may leave the publication unconsumed.
+      waiting_active_ = false;
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (timed_out && !has_match_locked(src, tag)) {
+        throw_recv_timeout(src, tag, detector);
+      }
+    }
+  }
+}
+
 Message Mailbox::recv(int src, int tag, double timeout_wall_seconds,
                       DeadlockDetector* detector, int self_rank) {
+  if (sched_ != nullptr && FiberScheduler::current() == sched_) {
+    return recv_fiber(src, tag, timeout_wall_seconds, detector, self_rank);
+  }
+  // Standalone condition-variable path (no machine / no fiber scheduler).
   // Fallback deadlock guard on the host clock only: the deadline never
   // feeds simulated clocks, payloads, or stats — a correct program never
   // hits it, and with the wait-for-graph detector on, neither do most
@@ -59,9 +156,6 @@ Message Mailbox::recv(int src, int tag, double timeout_wall_seconds,
         return std::move(*m);
       }
     }
-    // Publish the wait edge with no mailbox lock held (the detector takes
-    // its own lock first, then probes mailboxes: single fixed lock order).
-    // May throw the deadlock diagnostic if this edge closes a stuck set.
     if (detector != nullptr) {
       detector->enter_wait(self_rank, src, tag);
     }
@@ -75,19 +169,13 @@ Message Mailbox::recv(int src, int tag, double timeout_wall_seconds,
             cv_.wait_until(lk, deadline) == std::cv_status::timeout;
       }
     }
-    // Deregister before looping back to pop: the detector's soundness
-    // argument needs "registered waiting" and "consuming" to be disjoint.
     if (detector != nullptr) {
       detector->leave_wait(self_rank);
     }
     if (timed_out) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!aborted_ && !has_match_locked(src, tag)) {
-        throw Error("recv timed out waiting for src=" + std::to_string(src) +
-                    " tag=" + std::to_string(tag) +
-                    " (likely deadlock; wait-for-graph detection " +
-                    (detector != nullptr ? "did not trip" : "is disabled") +
-                    ")");
+        throw_recv_timeout(src, tag, detector);
       }
     }
   }
@@ -109,9 +197,17 @@ std::vector<PendingMessage> Mailbox::snapshot() const {
 }
 
 void Mailbox::abort() {
+  bool wake_owner = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     aborted_ = true;
+    if (waiting_active_) {
+      waiting_active_ = false;
+      wake_owner = true;
+    }
+  }
+  if (wake_owner) {
+    sched_->wake(owner_rank_);
   }
   cv_.notify_all();
 }
@@ -119,6 +215,15 @@ void Mailbox::abort() {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
+}
+
+double Mailbox::min_pending_send_time() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double t = std::numeric_limits<double>::infinity();
+  for (const auto& m : queue_) {
+    t = std::min(t, m.send_time);
+  }
+  return t;
 }
 
 std::size_t Mailbox::max_pending() const {

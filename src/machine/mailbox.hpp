@@ -2,8 +2,19 @@
 //
 // Semantics mirror MPI-1 blocking point-to-point: messages between a fixed
 // (src, dst, tag) triple are non-overtaking (FIFO); recv may use kAnySource.
+//
+// Blocking has two implementations behind one recv():
+//  * Fiber path (the machine's execution model): when a FiberScheduler is
+//    attached and the caller is one of its fibers, an unmatched recv parks
+//    the calling fiber — a yield point, not a blocked host thread — and a
+//    matching push (or abort, or the wall-clock deadline sweep) makes it
+//    runnable again.
+//  * Condition-variable path: kept for standalone Mailbox use (its own unit
+//    tests drive it from raw host threads, with no machine around).
 #pragma once
 
+// Standalone-use fallback only; machine runs block via the fiber scheduler.
+// kali-lint: allow(raw-thread)
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -18,6 +29,7 @@ namespace kali {
 inline constexpr int kAnySource = -1;
 
 class DeadlockDetector;
+class FiberScheduler;
 
 /// Snapshot row of one queued (sent-but-not-yet-received) message, for the
 /// deadlock detector's diagnostic dump and the leak checks.
@@ -30,7 +42,7 @@ struct PendingMessage {
 
 class Mailbox {
  public:
-  /// Deposit a message (called from the sender's thread).
+  /// Deposit a message (called from the sender's execution context).
   void push(Message m);
 
   /// Blocking matched receive.  When `detector` is set, the wait is
@@ -38,7 +50,7 @@ class Mailbox {
   /// a certain deadlock aborts instantly with a diagnostic instead of
   /// sitting out the wall-clock timeout (which remains the fallback).
   /// Throws kali::Error on detection, on timeout, or if the machine aborted
-  /// because a peer threw.
+  /// because a peer processor failed.
   Message recv(int src, int tag, double timeout_wall_seconds,
                DeadlockDetector* detector = nullptr, int self_rank = -1);
 
@@ -52,15 +64,27 @@ class Mailbox {
   /// Wake all waiters with an "aborted" error (peer processor failed).
   void abort();
 
+  /// Bind this mailbox to its owning rank's fiber scheduler for the
+  /// duration of a Machine::run (nullptr to detach).  While attached, a
+  /// recv called on one of `sched`'s fibers parks the fiber instead of
+  /// blocking the host thread, and push() wakes the parked owner.
+  void attach_scheduler(FiberScheduler* sched, int owner_rank);
+
   /// Number of queued (undelivered) messages.
   [[nodiscard]] std::size_t pending() const;
+
+  /// Smallest simulated send_time among the queued messages (+inf when
+  /// empty).  Feeds the edge-ledger compaction floor: a queued message's
+  /// future receive replays route edges keyed by this send_time
+  /// (machine/collectives.hpp compact_edge_ledgers).
+  [[nodiscard]] double min_pending_send_time() const;
 
   /// High-water mark of pending(): the peak in-flight buffering this
   /// mailbox ever held.  Lockstep round execution (IssueOrder::kLockstep)
   /// exists to bound this by a small constant instead of O(P) for dense
   /// pairwise exchanges (see the kLockstep doc for the funnel-shaped
-  /// caveat).  The peak depends on host thread interleaving (unlike the
-  /// simulated clocks), so tests may only assert bounds on it, never
+  /// caveat).  The peak depends on host scheduling of the fibers (unlike
+  /// the simulated clocks), so tests may only assert bounds on it, never
   /// exact values.
   [[nodiscard]] std::size_t max_pending() const;
 
@@ -68,14 +92,26 @@ class Mailbox {
   void reset_peak();
 
  private:
+  Message recv_fiber(int src, int tag, double timeout_wall_seconds,
+                     DeadlockDetector* detector, int self_rank);
   std::optional<Message> try_pop_locked(int src, int tag);
   [[nodiscard]] bool has_match_locked(int src, int tag) const;
 
   mutable std::mutex mu_;
+  // kali-lint: allow(raw-thread) — standalone (schedulerless) recv path only
   std::condition_variable cv_;
   std::deque<Message> queue_;
   std::size_t peak_pending_ = 0;
   bool aborted_ = false;
+
+  // Fiber integration (valid while attached during a Machine::run).
+  FiberScheduler* sched_ = nullptr;
+  int owner_rank_ = -1;
+  // The owner fiber's published wait: set under mu_ before it parks,
+  // consumed under mu_ by the matching push (exactly one waker per park).
+  bool waiting_active_ = false;
+  int waiting_src_ = 0;
+  int waiting_tag_ = 0;
 };
 
 }  // namespace kali

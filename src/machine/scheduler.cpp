@@ -1,0 +1,443 @@
+// The worker pool behind FiberScheduler.  This is the one machine-layer
+// file allowed to touch host threading primitives (std::thread,
+// condition_variable, thread_local) — the determinism lint's raw-thread
+// rule exempts exactly this file, so every other machine source is
+// provably free of host-threading assumptions.
+#include "machine/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "machine/fiber.hpp"
+#include "support/check.hpp"
+
+namespace kali {
+
+namespace {
+
+// Harness-side deadlines only (recv fallback timeout, quiesce mismatch
+// guard); never feeds a simulated clock.
+// kali-lint: allow(wall-clock)
+using WallClock = std::chrono::steady_clock;
+
+/// Park/wake state machine.  Transitions:
+///   kReady --worker picks--> kRunning
+///   kRunning --prepare_park--> kParking (--cancel_park--> kRunning)
+///   kParking --worker, post-switch--> kParked
+///   kParking --waker--> kWakeRequested --worker, post-switch--> kReady
+///   kParked --waker / deadline sweep--> kReady (+ ready-queue push)
+///   kRunning --entry returns--> kFinished
+enum class FiberState : unsigned char {
+  kReady,
+  kRunning,
+  kParking,
+  kParked,
+  kWakeRequested,
+  kFinished,
+};
+
+struct FiberRecord {
+  FiberContext ctx;
+  std::atomic<FiberState> state{FiberState::kReady};
+  FiberScheduler::Impl* impl = nullptr;
+  int rank = 0;
+  /// Written by the owning fiber before its kParking release-store; read
+  /// by the deadline sweep only after observing kParked under the
+  /// scheduler mutex, so no lock is needed on the write side.
+  WallClock::time_point deadline{};
+  /// Set by the deadline sweep (under the mutex, before the ready push);
+  /// consumed by the fiber right after it resumes.
+  bool timed_out = false;
+};
+
+struct WorkerRecord {
+  FiberContext ctx;
+};
+
+thread_local FiberScheduler* tls_sched = nullptr;
+thread_local WorkerRecord* tls_worker = nullptr;
+thread_local FiberRecord* tls_fiber = nullptr;
+
+std::size_t default_stack_bytes() {
+#if defined(KALI_FIBER_ASAN) || defined(KALI_FIBER_TSAN)
+  return std::size_t{1} << 20;  // instrumented frames are much fatter
+#else
+  return std::size_t{256} << 10;
+#endif
+}
+
+int default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void fiber_entry(void* arg);
+
+}  // namespace
+
+struct FiberScheduler::Impl {
+  int nfibers;
+  int nworkers;
+  double park_timeout;
+  FiberStackArena arena;
+  std::vector<std::unique_ptr<FiberRecord>> fibers;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;  // FIFO run queue, seeded ranks ascending
+  int running = 0;        // fibers currently on a worker (or in transit)
+  int finished = 0;
+  bool started = false;
+  bool aborted = false;
+  std::exception_ptr first_error;  // defensive: body should catch its own
+
+  // Quiesce rendezvous: arrivals park until the generation advances; the
+  // last arrival releases everyone after running the critical section.
+  int q_arrived = 0;
+  unsigned long long q_gen = 0;
+  std::vector<int> q_parked;
+
+  const std::function<void(int)>* body = nullptr;
+
+  Impl(int nf, int nw, double timeout, std::size_t stack_bytes)
+      : nfibers(nf),
+        nworkers(nw > 0 ? nw : default_workers()),
+        park_timeout(timeout),
+        arena(nf, stack_bytes != 0 ? stack_bytes : default_stack_bytes()) {
+    fibers.reserve(static_cast<std::size_t>(nf));
+    for (int r = 0; r < nf; ++r) {
+      auto f = std::make_unique<FiberRecord>();
+      f->impl = this;
+      f->rank = r;
+      f->ctx.init_fiber(arena.stack_bottom(r), arena.stack_bytes(),
+                        &fiber_entry, f.get());
+      fibers.push_back(std::move(f));
+    }
+  }
+
+  FiberRecord& fiber(int rank) {
+    return *fibers[static_cast<std::size_t>(rank)];
+  }
+
+  /// CAS a parked (or parking) fiber runnable.  Caller holds mu for the
+  /// ready-queue push.
+  void wake_locked(FiberRecord& f) {
+    for (;;) {
+      FiberState s = f.state.load(std::memory_order_acquire);
+      if (s == FiberState::kParked) {
+        if (f.state.compare_exchange_weak(s, FiberState::kReady,
+                                          std::memory_order_acq_rel)) {
+          ready.push_back(f.rank);
+          cv.notify_one();
+          return;
+        }
+      } else if (s == FiberState::kParking) {
+        // The fiber is between announcing the park and the switch; flag
+        // it and its worker requeues it right after the swap.
+        if (f.state.compare_exchange_weak(s, FiberState::kWakeRequested,
+                                          std::memory_order_acq_rel)) {
+          return;
+        }
+      } else {
+        return;  // ready/running/wake-requested/finished: nothing to do
+      }
+    }
+  }
+
+  void resume(WorkerRecord& w, FiberRecord& f) {
+    f.state.store(FiberState::kRunning, std::memory_order_release);
+    tls_fiber = &f;
+    fiber_switch(w.ctx, f.ctx);
+    tls_fiber = nullptr;
+  }
+
+  /// Classify why the fiber switched back, under mu.
+  void post_switch_locked(FiberRecord& f) {
+    FiberState s = f.state.load(std::memory_order_acquire);
+    if (s == FiberState::kFinished) {
+      f.ctx.destroy();  // TSan fiber teardown — never from the fiber itself
+      ++finished;
+      if (finished == nfibers) {
+        cv.notify_all();
+      }
+      return;
+    }
+    FiberState expect = FiberState::kParking;
+    if (f.state.compare_exchange_strong(expect, FiberState::kParked,
+                                        std::memory_order_acq_rel)) {
+      if (q_arrived > 0) {
+        cv.notify_all();  // a quiesce leader may be counting parked peers
+      }
+      return;
+    }
+    KALI_CHECK(expect == FiberState::kWakeRequested,
+               "fiber in impossible state after switching out");
+    f.state.store(FiberState::kReady, std::memory_order_release);
+    ready.push_back(f.rank);
+    cv.notify_one();
+  }
+
+  /// Full stall: nothing ready, nothing running, some fibers unfinished —
+  /// each of those is parked with a deadline.  Wait out the earliest
+  /// (ties break to the lowest rank: ascending scan, strict <) and wake
+  /// it with timed_out set; the fiber decides whether that is an error.
+  void stall_sweep(std::unique_lock<std::mutex>& lk) {
+    FiberRecord* cand = nullptr;
+    for (auto& up : fibers) {
+      FiberRecord* f = up.get();
+      if (f->state.load(std::memory_order_acquire) != FiberState::kParked) {
+        continue;
+      }
+      if (cand == nullptr || f->deadline < cand->deadline) {
+        cand = f;
+      }
+    }
+    if (cand == nullptr) {
+      // A woken fiber is between its state CAS and its ready push.
+      cv.wait(lk);
+      return;
+    }
+    if (WallClock::now() < cand->deadline) {
+      cv.wait_until(lk, cand->deadline);
+      return;
+    }
+    FiberState expect = FiberState::kParked;
+    if (cand->state.compare_exchange_strong(expect, FiberState::kReady,
+                                            std::memory_order_acq_rel)) {
+      cand->timed_out = true;
+      ready.push_back(cand->rank);
+      cv.notify_all();
+    }
+  }
+
+  void worker_main(FiberScheduler* self) {
+    WorkerRecord w;
+    w.ctx.init_host();
+    tls_sched = self;
+    tls_worker = &w;
+    std::unique_lock<std::mutex> lk(mu);
+    while (finished < nfibers) {
+      if (!ready.empty()) {
+        FiberRecord& f = fiber(ready.front());
+        ready.pop_front();
+        ++running;
+        lk.unlock();
+        resume(w, f);
+        lk.lock();
+        // Order matters: classify the fiber before dropping `running`, so
+        // peers never observe a stall while a park is still in transit.
+        post_switch_locked(f);
+        --running;
+        continue;
+      }
+      if (running > 0) {
+        cv.wait(lk);
+        continue;
+      }
+      stall_sweep(lk);
+    }
+    lk.unlock();
+    cv.notify_all();
+    tls_worker = nullptr;
+    tls_sched = nullptr;
+  }
+};
+
+namespace {
+
+void fiber_entry(void* arg) {
+  auto* f = static_cast<FiberRecord*>(arg);
+  FiberScheduler::Impl* im = f->impl;
+  try {
+    (*im->body)(f->rank);
+  } catch (...) {
+    // Machine::run's per-rank body catches everything itself; this is the
+    // safety net for standalone scheduler use.
+    {
+      std::lock_guard<std::mutex> lk(im->mu);
+      if (!im->first_error) {
+        im->first_error = std::current_exception();
+      }
+      im->aborted = true;
+      for (auto& up : im->fibers) {
+        im->wake_locked(*up);
+      }
+      im->cv.notify_all();
+    }
+  }
+  f->state.store(FiberState::kFinished, std::memory_order_release);
+  WorkerRecord* w = tls_worker;
+  w->ctx.set_asan_bounds(f->ctx.peer_bottom(), f->ctx.peer_size());
+  fiber_switch(f->ctx, w->ctx, /*from_dying=*/true);
+  // Unreachable: the dying switch never returns.
+}
+
+}  // namespace
+
+FiberScheduler::FiberScheduler(int nfibers, int workers,
+                               double park_timeout_seconds,
+                               std::size_t stack_bytes) {
+  KALI_CHECK(nfibers >= 1, "scheduler needs at least one fiber");
+  impl_ = std::make_unique<Impl>(nfibers, workers, park_timeout_seconds,
+                                 stack_bytes);
+}
+
+FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::run(const std::function<void(int)>& body) {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    KALI_CHECK(!im.started, "FiberScheduler::run is single-shot");
+    im.started = true;
+    im.body = &body;
+    for (int r = 0; r < im.nfibers; ++r) {
+      im.ready.push_back(r);  // deterministic seed: ranks ascending
+    }
+  }
+  const int w = std::min(im.nworkers, im.nfibers);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    workers.emplace_back([this, &im] { im.worker_main(this); });
+  }
+  for (auto& t : workers) {
+    t.join();
+  }
+  im.body = nullptr;
+  if (im.first_error) {
+    std::rethrow_exception(im.first_error);
+  }
+}
+
+void FiberScheduler::prepare_park(double timeout_seconds) {
+  FiberRecord* f = tls_fiber;
+  KALI_CHECK(f != nullptr && f->impl == impl_.get(),
+             "prepare_park outside a fiber of this scheduler");
+  f->deadline = WallClock::now() +
+                std::chrono::duration_cast<WallClock::duration>(
+                    std::chrono::duration<double>(timeout_seconds));
+  f->timed_out = false;
+  f->state.store(FiberState::kParking, std::memory_order_release);
+}
+
+bool FiberScheduler::commit_park() {
+  FiberRecord* f = tls_fiber;
+  WorkerRecord* w = tls_worker;
+  KALI_CHECK(f != nullptr && w != nullptr, "commit_park outside a fiber");
+  w->ctx.set_asan_bounds(f->ctx.peer_bottom(), f->ctx.peer_size());
+  fiber_switch(f->ctx, w->ctx);
+  // Resumed — possibly on a different worker thread (tls_worker moved on).
+  return f->timed_out;
+}
+
+void FiberScheduler::cancel_park() {
+  FiberRecord* f = tls_fiber;
+  KALI_CHECK(f != nullptr, "cancel_park outside a fiber");
+  // kParking normally; kWakeRequested if a wake hit the announce window —
+  // either way the fiber is running and the waker's effect (a pushed
+  // message, the abort flag) is visible to the caller's re-check.
+  f->state.exchange(FiberState::kRunning, std::memory_order_acq_rel);
+}
+
+void FiberScheduler::quiesce(const std::function<void()>& on_last) {
+  Impl& im = *impl_;
+  FiberRecord* f = tls_fiber;
+  KALI_CHECK(f != nullptr && f->impl == &im, "quiesce outside a fiber");
+  std::unique_lock<std::mutex> lk(im.mu);
+  if (im.aborted) {
+    throw Error("quiesce aborted: a peer processor failed");
+  }
+  const unsigned long long gen = im.q_gen;
+  ++im.q_arrived;
+  if (im.q_arrived < im.nfibers) {
+    im.q_parked.push_back(f->rank);
+    lk.unlock();
+    prepare_park(im.park_timeout);
+    const bool timed_out = commit_park();
+    lk.lock();
+    if (im.aborted) {
+      throw Error("quiesce aborted: a peer processor failed");
+    }
+    if (im.q_gen != gen) {
+      return;  // released (a racing late timeout wake is benign)
+    }
+    KALI_CHECK(timed_out, "quiesce fiber woke without release or timeout");
+    throw Error(
+        "quiesce timed out: a machine-global quiesce (edge-ledger "
+        "compaction) was not entered by every rank — collective mismatch");
+  }
+  // Last arrival: wait until every peer is observably suspended.  The
+  // kParking release-store / kParked CAS / acquire-load chain makes each
+  // peer's rank-sharded writes visible before on_last reads them.
+  im.cv.wait(lk, [&] {
+    if (im.aborted) {
+      return true;
+    }
+    for (int r : im.q_parked) {
+      if (im.fiber(r).state.load(std::memory_order_acquire) !=
+          FiberState::kParked) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (im.aborted) {
+    throw Error("quiesce aborted: a peer processor failed");
+  }
+  lk.unlock();
+  on_last();  // peers suspended: cross-rank state is safe to touch
+  lk.lock();
+  ++im.q_gen;
+  im.q_arrived = 0;
+  for (int r : im.q_parked) {
+    FiberRecord& pf = im.fiber(r);
+    FiberState expect = FiberState::kParked;
+    const bool ok = pf.state.compare_exchange_strong(
+        expect, FiberState::kReady, std::memory_order_acq_rel);
+    KALI_CHECK(ok, "quiesce peer disappeared before release");
+    im.ready.push_back(r);
+  }
+  im.q_parked.clear();
+  im.cv.notify_all();
+}
+
+void FiberScheduler::wake(int rank) {
+  Impl& im = *impl_;
+  KALI_CHECK(rank >= 0 && rank < im.nfibers, "wake: rank out of range");
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.wake_locked(im.fiber(rank));
+}
+
+void FiberScheduler::abort() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.aborted = true;
+  for (auto& up : im.fibers) {
+    im.wake_locked(*up);
+  }
+  im.cv.notify_all();
+}
+
+bool FiberScheduler::aborted() const {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.aborted;
+}
+
+int FiberScheduler::nfibers() const { return impl_->nfibers; }
+
+FiberScheduler* FiberScheduler::current() {
+  return tls_fiber != nullptr ? tls_sched : nullptr;
+}
+
+int FiberScheduler::current_rank() {
+  return tls_fiber != nullptr ? tls_fiber->rank : -1;
+}
+
+}  // namespace kali

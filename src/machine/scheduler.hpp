@@ -1,0 +1,117 @@
+// Cooperative fiber scheduler: simulated ranks as user-level contexts
+// multiplexed onto a fixed pool of host worker threads, replacing the old
+// thread-per-rank Machine::run (which capped P at what the OS would
+// spawn).  With fibers, P = 64k ranks is a bench setting, not a fork bomb.
+//
+// Determinism contract: the machine layer's results (clocks, counters,
+// traces) are bit-identical for ANY host interleaving because all
+// simulated state is sharded per rank — a rank's processor, ledgers, and
+// trace shard are touched only by that rank's own execution context
+// (docs/machine-model.md, "Execution model").  The scheduler therefore
+// does not need — and does not promise — a deterministic interleaving;
+// it promises only a deterministic *seed order* (ranks enter the run
+// queue ascending) and FIFO requeueing, which makes single-worker runs
+// fully reproducible step sequences, a property the differential tests
+// exploit.
+//
+// Yield points: Mailbox::recv parks the calling fiber when no match is
+// queued (prepare_park / commit_park below), and quiesce() parks all
+// fibers for machine-global maintenance (edge-ledger compaction).  A
+// parked fiber with no possible waker is first-class scheduler state:
+// with deadlock detection on it never happens (the wait-for-graph check
+// throws first), and the wall-clock fallback fires only on a *full
+// stall* — every fiber parked past its deadline — because a cooperative
+// scheduler cannot preempt a spinning fiber to deliver a timeout.
+//
+// All host-threading machinery (workers, mutex, condvar, thread-locals)
+// lives in scheduler.cpp, the one machine-layer file the determinism
+// lint's raw-thread rule exempts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace kali {
+
+class FiberScheduler {
+ public:
+  /// `nfibers` simulated ranks multiplexed onto `workers` host threads
+  /// (0 = one per hardware thread, resolved here so callers never touch
+  /// std::thread).  `park_timeout_seconds` bounds every quiesce park (the
+  /// collective-mismatch guard); recv parks carry their own timeout.
+  /// `stack_bytes` = 0 picks the build default (256 KiB; 1 MiB under a
+  /// sanitizer, whose instrumented frames are fatter).
+  FiberScheduler(int nfibers, int workers, double park_timeout_seconds,
+                 std::size_t stack_bytes);
+  ~FiberScheduler();
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Run body(rank) to completion on every fiber, blocking the calling
+  /// thread.  Single-shot: construct a fresh scheduler per run.  body
+  /// must not let exceptions escape (Machine::run catches per rank); if
+  /// one does anyway, the run aborts and the first such exception is
+  /// rethrown here.
+  void run(const std::function<void(int)>& body);
+
+  // --- yield protocol (valid only on a fiber of this scheduler) ---
+  //
+  // The three-step shape closes the lost-wakeup window without making
+  // wakers take the scheduler lock while the parker holds a mailbox lock:
+  //   prepare_park();          // announce: state = kParking
+  //   ...publish the wake condition under the resource's own lock...
+  //   commit_park();           // suspend (or bounce straight back if a
+  //                            // wake already landed in the window)
+  // A waker that finds the fiber kParking flags it kWakeRequested and the
+  // worker requeues it immediately after the switch — the wake is never
+  // lost, whichever side of the swapcontext it lands on.
+
+  /// Arm a park with a wall-clock deadline `timeout_seconds` from now.
+  void prepare_park(double timeout_seconds);
+
+  /// Suspend until wake()/abort()/deadline.  Returns true iff the
+  /// deadline sweep woke us (the caller re-checks its condition and
+  /// decides whether that is an error).
+  bool commit_park();
+
+  /// Abandon a prepared park (the condition was already satisfied).
+  void cancel_park();
+
+  /// Park until all nfibers ranks arrive; the last arrival alone runs
+  /// `on_last` while every peer is provably suspended (their rank-sharded
+  /// state is safe to read and rewrite), then releases everyone.  Throws
+  /// kali::Error on abort or timeout (a collective not entered by every
+  /// rank).
+  void quiesce(const std::function<void()>& on_last);
+
+  // --- valid from any thread ---
+
+  /// Make `rank` runnable if parked (or parking).  No-op otherwise.
+  void wake(int rank);
+
+  /// Wake everything and poison future parks/quiesces; parked quiesce
+  /// waiters throw.  Used by Machine::run's error path so a failing rank
+  /// unwinds the whole pool promptly.
+  void abort();
+
+  [[nodiscard]] bool aborted() const;
+  [[nodiscard]] int nfibers() const;
+
+  /// Scheduler whose fiber is running on the calling thread, or nullptr
+  /// when the caller is not a fiber (Mailbox uses this to fall back to
+  /// its condition-variable path for standalone use).
+  [[nodiscard]] static FiberScheduler* current();
+  /// Rank of the fiber running on the calling thread, or -1.
+  [[nodiscard]] static int current_rank();
+
+  /// Implementation state (scheduler.cpp): public only so the worker/fiber
+  /// plumbing in that file's anonymous namespace can name it — the type is
+  /// incomplete everywhere else, so nothing outside can touch it.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kali

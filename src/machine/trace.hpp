@@ -50,9 +50,12 @@ class ActivityTrace {
 ///
 /// Lock-free by sharding: each rank appends only to its own event vector
 /// (sends land in the sender's shard, receives in the receiver's), and the
-/// thread joins in Machine::run publish everything before write()/events()
-/// run on the caller's thread.  Purely harness-side observability — the
-/// recorded metadata never feeds simulated clocks.
+/// worker-pool join at the end of Machine::run publishes everything before
+/// write()/events() run on the caller's thread.  Purely harness-side
+/// observability — the recorded metadata never feeds simulated clocks.
+/// Per-rank program order is host-schedule-independent, so the write()
+/// output is byte-identical across runs and worker counts (the
+/// scheduler-determinism tests assert this).
 class MessageTrace {
  public:
   struct Event {

@@ -139,20 +139,44 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
   D2 r(ctx, pv, {nx + 1, ny + 1}, dists, {0, 1});
   auto uin = u.copy_in();
   resid2(op, uin, f, r);
-  r.exchange_halo();
 
   // rest2: full weighting in y at even fine lines, injected to coarse.
-  D2 gtmp(ctx, pv, {nx + 1, ny + 1}, dists);
-  doall2(
-      gtmp, Range{1, nx - 1}, Range{2, ny - 2, 2},
-      [&](int i, int j) {
-        gtmp(i, j) = 0.25 * r.at_halo({i, j - 1}) + 0.5 * r.at_halo({i, j}) +
-                     0.25 * r.at_halo({i, j + 1});
-      },
-      4.0);
   D2 g(ctx, pv, {nx + 1, nyc + 1}, dists);
-  copy_strided_dim(ctx, gtmp, g, 1, /*s_stride=*/2, /*s_off=*/0,
-                   /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
+  if (opts.fused_level_remap) {
+    // Fused path (mirror of the interpolation side below): split the fine
+    // residual by line parity onto the coarse layout first, then weight on
+    // the coarse side.  re(K) = r(2K) and ro(K) = r(2K+1); the weighting
+    // stencil needs ro at K-1 and K, so ro travels through
+    // copy_strided_dim_halo, which delivers those ghosts inside the remap
+    // messages — no fine-grid halo exchange of r and no full-size gtmp.
+    // g(i,K) = 0.25 r(2K-1) + 0.5 r(2K) + 0.25 r(2K+1) in the same
+    // operation order as the unfused path, so the solution is bit-identical.
+    D2 re(ctx, pv, {nx + 1, nyc + 1}, dists);
+    copy_strided_dim(ctx, r, re, 1, /*s_stride=*/2, /*s_off=*/0,
+                     /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
+    D2 ro(ctx, pv, {nx + 1, nyc + 1}, dists, {0, 1});
+    copy_strided_dim_halo(ctx, r, ro, 1, /*s_stride=*/2, /*s_off=*/1,
+                          /*d_stride=*/1, /*d_off=*/0, nyc, opts.remap_order);
+    doall2(
+        g, Range{1, nx - 1}, Range{1, nyc - 1},
+        [&](int i, int K) {
+          g(i, K) = 0.25 * ro.at_halo({i, K - 1}) + 0.5 * re(i, K) +
+                    0.25 * ro.at_halo({i, K});
+        },
+        4.0);
+  } else {
+    r.exchange_halo();
+    D2 gtmp(ctx, pv, {nx + 1, ny + 1}, dists);
+    doall2(
+        gtmp, Range{1, nx - 1}, Range{2, ny - 2, 2},
+        [&](int i, int j) {
+          gtmp(i, j) = 0.25 * r.at_halo({i, j - 1}) + 0.5 * r.at_halo({i, j}) +
+                       0.25 * r.at_halo({i, j + 1});
+        },
+        4.0);
+    copy_strided_dim(ctx, gtmp, g, 1, /*s_stride=*/2, /*s_off=*/0,
+                     /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
+  }
 
   D2 v(ctx, pv, {nx + 1, nyc + 1}, dists, {0, 1});
   Op2 coarse = op;

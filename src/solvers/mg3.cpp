@@ -141,20 +141,43 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
   D3 r(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3, {0, 0, 1});
   auto uin = u.copy_in();
   resid3(op, uin, f, r);
-  r.exchange_halo();
 
   // rest3: full weighting in z at even fine planes, injected to coarse.
-  D3 gtmp(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3);
-  doall3(
-      gtmp, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
-      [&](int i, int j, int k) {
-        gtmp(i, j, k) = 0.25 * r.at_halo({i, j, k - 1}) + 0.5 * r.at_halo({i, j, k}) +
-                        0.25 * r.at_halo({i, j, k + 1});
-      },
-      4.0);
   D3 g(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3);
-  copy_strided_dim(ctx, gtmp, g, 2, /*s_stride=*/2, /*s_off=*/0,
-                   /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
+  if (opts.fused_level_remap) {
+    // Fused path (mirror of intrp3 below): split the fine residual by plane
+    // parity onto the coarse layout, then weight on the coarse side.
+    // re(K) = r(2K), ro(K) = r(2K+1); ro rides copy_strided_dim_halo so the
+    // stencil's K-1/K ghosts arrive inside the remap messages — no fine-grid
+    // halo exchange of r and no full-size gtmp.  The weighting runs in the
+    // unfused path's operation order, so the solution is bit-identical.
+    D3 re(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3);
+    copy_strided_dim(ctx, r, re, 2, /*s_stride=*/2, /*s_off=*/0,
+                     /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
+    D3 ro(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3, {0, 0, 1});
+    copy_strided_dim_halo(ctx, r, ro, 2, /*s_stride=*/2, /*s_off=*/1,
+                          /*d_stride=*/1, /*d_off=*/0, nzc, opts.remap_order);
+    doall3(
+        g, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nzc - 1},
+        [&](int i, int j, int K) {
+          g(i, j, K) = 0.25 * ro.at_halo({i, j, K - 1}) + 0.5 * re(i, j, K) +
+                       0.25 * ro.at_halo({i, j, K});
+        },
+        4.0);
+  } else {
+    r.exchange_halo();
+    D3 gtmp(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3);
+    doall3(
+        gtmp, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
+        [&](int i, int j, int k) {
+          gtmp(i, j, k) = 0.25 * r.at_halo({i, j, k - 1}) +
+                          0.5 * r.at_halo({i, j, k}) +
+                          0.25 * r.at_halo({i, j, k + 1});
+        },
+        4.0);
+    copy_strided_dim(ctx, gtmp, g, 2, /*s_stride=*/2, /*s_off=*/0,
+                     /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
+  }
 
   D3 v(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3, {0, 1, 1});
   Op3 coarse = op;

@@ -19,6 +19,12 @@ compiler never checks.  This linter enforces the written rules:
   layering       Include-graph layering: machine must not include
                  runtime/kernels/solvers/metrics headers; runtime must not
                  include kernels/solvers; and so on down the layer DAG.
+  raw-thread     In src/machine/, no raw host-threading primitives
+                 (std::thread, std::condition_variable, thread_local)
+                 outside machine/scheduler.cpp: simulated ranks are
+                 cooperatively scheduled fibers, and stray OS-thread
+                 machinery either breaks determinism or silently revives
+                 the thread-per-rank model the scheduler replaced.
   raw-exchange   In src/runtime/, ctx.send*/recv* calls must flow through
                  detail::issue_exchange (i.e. live inside the send_one /
                  recv_one closures it dispatches), so every dense exchange
@@ -54,6 +60,7 @@ RULES = (
     "raw-tag",
     "unordered-container",
     "wall-clock",
+    "raw-thread",
     "layering",
     "raw-exchange",
     "collective-symmetry",
@@ -81,6 +88,10 @@ LITERAL_TAG_CALL_RE = re.compile(
     r"\s*(?:<[^()]*>)?\(\s*[^,()]+,\s*\d+\s*[,)]"
 )
 UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|condition_variable(?:_any)?)\b"
+    r"|\bthread_local\b"
+    r"|^\s*#\s*include\s*<(?:thread|condition_variable)>")
 WALL_CLOCK_RES = (
     re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"),
     re.compile(r"\bstd::random_device\b"),
@@ -248,6 +259,16 @@ def lint_file(root, relpath, findings):
                            "simulator code: clocks must be pure functions "
                            "of the simulated program")
                     break
+
+    # --- raw-thread (machine only; the fiber scheduler itself is exempt) ----
+    if layer == "machine" and \
+            not relpath.replace(os.sep, "/").endswith("machine/scheduler.cpp"):
+        for i, line in enumerate(code):
+            if RAW_THREAD_RE.search(line):
+                report(i, "raw-thread",
+                       "raw host-threading primitive in the machine layer: "
+                       "ranks are cooperatively scheduled fibers; worker "
+                       "threads live only in machine/scheduler.cpp")
 
     # --- raw-tag ------------------------------------------------------------
     if not is_registry:
