@@ -6,15 +6,23 @@
 //   build/comm_trace /tmp/run.trace
 //   tools/check_trace.py /tmp/run.trace
 //
-// With no argument the trace goes to stdout.  scripts/check_trace.sh runs
-// this pipeline end to end (and CI runs it on every push), so the trace
-// the verifier certifies is always the one the current runtime emits.
+// With no argument the trace goes to stdout.  A second argument
+// additionally writes the run's happens-before event log for the
+// determinism analyzer:
+//
+//   build/comm_trace /tmp/run.trace /tmp/run.hb
+//   tools/check_hb.py /tmp/run.hb
+//
+// scripts/check_trace.sh and scripts/check_hb.sh run these pipelines end
+// to end (and CI runs them on every push), so the artifacts the verifiers
+// certify are always the ones the current runtime emits.
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 
 #include "machine/context.hpp"
+#include "machine/hb.hpp"
 #include "machine/trace.hpp"
 #include "runtime/inspector.hpp"
 #include "runtime/redistribute.hpp"
@@ -27,6 +35,8 @@ int main(int argc, char** argv) {
   Machine machine(kProcs);
   MessageTrace trace(kProcs);
   machine.attach_message_trace(&trace);
+  HbLog hb(kProcs);
+  machine.attach_hb_log(&hb);
 
   machine.run([&](Context& ctx) {
     ProcView row = ProcView::grid1(kProcs);
@@ -81,7 +91,15 @@ int main(int argc, char** argv) {
   } else {
     trace.write(std::cout);
   }
-  std::cerr << "comm_trace: " << trace.total_events() << " events on "
-            << kProcs << " ranks\n";
+  if (argc > 2) {
+    std::ofstream os(argv[2]);
+    if (!os) {
+      std::cerr << "comm_trace: cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    hb.write_log(os);
+  }
+  std::cerr << "comm_trace: " << trace.total_events() << " trace events, "
+            << hb.total_events() << " hb events on " << kProcs << " ranks\n";
   return 0;
 }

@@ -9,7 +9,9 @@
 #      determinism linter implements (tools/lint_kali.py --list-rules)
 #      — both directions again;
 #   4. docs/static-analysis.md documents exactly the rule ids the offline
-#      trace verifier implements (tools/check_trace.py --list-rules).
+#      trace verifier implements (tools/check_trace.py --list-rules);
+#   5. docs/static-analysis.md documents exactly the rule ids the
+#      happens-before analyzer implements (tools/check_hb.py --list-rules).
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -113,7 +115,32 @@ while IFS= read -r name; do
   fi
 done < <(printf '%s\n' "$trace_table" | grep -oE '^\| `[a-z-]+`' | sed -E 's/^\| `([a-z-]+)`/\1/' | sort -u)
 
+# --- 5. happens-before analyzer rule drift ----------------------------------
+hb_table=$(sed -n '/BEGIN hb-rule table/,/END hb-rule table/p' "$lint_doc")
+if [ -z "$hb_table" ]; then
+  echo "HB DRIFT: $lint_doc lost its hb-rule table markers"
+  fail=1
+fi
+
+hb_rules=$(python3 tools/check_hb.py --list-rules)
+
+# Forward: every rule the analyzer implements is documented.
+while IFS= read -r rule; do
+  if ! printf '%s\n' "$hb_table" | grep -qF "\`$rule\`"; then
+    echo "HB DRIFT: rule '$rule' (check_hb.py) missing from $lint_doc"
+    fail=1
+  fi
+done <<< "$hb_rules"
+
+# Reverse: every rule named in the doc's table exists in the analyzer.
+while IFS= read -r name; do
+  if ! printf '%s\n' "$hb_rules" | grep -qxF "$name"; then
+    echo "HB DRIFT: $lint_doc documents rule '$name', which check_hb.py does not implement"
+    fail=1
+  fi
+done < <(printf '%s\n' "$hb_table" | grep -oE '^\| `[a-z-]+`' | sed -E 's/^\| `([a-z-]+)`/\1/' | sort -u)
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK (links + reserved-tag registry + lint rules + trace rules)"
+  echo "docs check OK (links + reserved-tag registry + lint rules + trace rules + hb rules)"
 fi
 exit $fail

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "machine/deadlock.hpp"
+#include "machine/hb.hpp"
 #include "support/check.hpp"
 
 namespace kali {
@@ -40,6 +41,16 @@ double sync_clocks(Context& ctx, const Group& g) {
   const double aligned = allreduce_max(ctx, g, ctx.clock());
   ctx.proc().realign_clock(aligned);  // sanctioned pull-back: see Processor
   ctx.proc().clear_link_state();
+  if (HbLog* hb = ctx.machine().hb_log(); hb != nullptr) {
+    // Own-shard state the barrier rewrote: the pulled-back clock, the
+    // cleared port clocks, and the emptied edge ledgers.  (The leak probe
+    // below reads this member's own mailbox concurrently with possible
+    // next-phase pushes from faster peers — benign by the epoch filter —
+    // so that read is deliberately not recorded.)
+    hb->write(ctx.rank(), HbObj::kClock, ctx.rank());
+    hb->write(ctx.rank(), HbObj::kLink, ctx.rank());
+    hb->write(ctx.rank(), HbObj::kLedger, ctx.rank());
+  }
   // Message-leak check: when the group spans the machine, the allreduce is
   // a full synchronization, so every message of the ending phase addressed
   // to this member has been pushed by now — anything still queued that was
@@ -59,6 +70,9 @@ double sync_clocks(Context& ctx, const Group& g) {
   // it is caught at the recv (see Message::epoch).  Bumped last, after the
   // barrier's own allreduce traffic has fully drained on this member.
   ctx.proc().bump_barrier_epoch();
+  if (HbLog* hb = ctx.machine().hb_log(); hb != nullptr) {
+    hb->write(ctx.rank(), HbObj::kEpoch, ctx.rank());
+  }
   return aligned;
 }
 

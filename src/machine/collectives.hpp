@@ -28,6 +28,12 @@ inline constexpr int kTagBarrierUp = kCollectiveTagBase + 4;
 inline constexpr int kTagBarrierDown = kCollectiveTagBase + 5;
 inline constexpr int kTagGatherCounts = kCollectiveTagBase + 6;
 inline constexpr int kTagAllGather = kCollectiveTagBase + 7;
+// The registry (message.hpp) pins the collectives-band allocation to
+// [kCollectiveTagFirst, kCollectiveTagLast]; extending the block above
+// means widening those bounds first.
+static_assert(kTagReduceUp == kCollectiveTagFirst &&
+                  kTagAllGather == kCollectiveTagLast,
+              "collectives tag block drifted from the reserved-tag registry");
 
 namespace detail {
 inline int tree_parent(int i) { return (i - 1) / 2; }

@@ -12,6 +12,8 @@
 
 namespace kali {
 
+class SchedulerHook;
+
 enum class Topology {
   kComplete,   ///< every pair one hop (idealized crossbar)
   kRing,       ///< 1-D ring, hop count = cyclic distance
@@ -110,6 +112,26 @@ struct MachineConfig {
   /// a harness feature: it never touches simulated clocks, payloads, or
   /// stats.  Disable to fall back to the wall-clock timeout alone.
   bool deadlock_detection = true;
+
+  /// Scheduler dispatch hook (machine/scheduler.hpp, SchedulerHook): when
+  /// set, every worker dispatch decision is delegated to it.  The seam the
+  /// interleaving explorer (tools/explore_scheduler) drives; must outlive
+  /// Machine::run.  Harness-only: a correct program's results are
+  /// bit-identical under any hook.
+  SchedulerHook* sim_hook = nullptr;
+
+  /// Replacement wall-clock source for the scheduler's park deadlines and
+  /// stall sweep (seconds, monotone non-decreasing).  Lets tests drive the
+  /// recv/quiesce timeout paths with a fake clock instead of sitting out
+  /// real seconds.  Never feeds simulated clocks.  nullptr = real steady
+  /// clock.
+  double (*sim_clock)() = nullptr;
+
+  /// Record happens-before events (machine/hb.hpp) into a log attached via
+  /// Machine::attach_hb_log.  On by default — with no log attached the
+  /// cost is one null check per event site; turn off to silence recording
+  /// even with a log attached.
+  bool hb_instrumentation = true;
 };
 
 }  // namespace kali

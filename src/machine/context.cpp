@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "machine/hb.hpp"
 #include "machine/topology.hpp"
 #include "machine/trace.hpp"
 
@@ -84,6 +85,17 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   cnt.sent_by_tag[tag] += 1;
   if (dst == rank()) {
     cnt.self_msgs_by_tag[tag] += 1;
+  }
+  if (HbLog* hb = machine_->hb_log(); hb != nullptr) {
+    // Rank-sharded cost-model state this send mutated, recorded before the
+    // push's send edge so the analyzer orders them against the receiver.
+    hb->write(rank(), HbObj::kClock, rank());
+    hb->write(rank(), HbObj::kCtr, rank());
+    if (config().link_contention == LinkContention::kPorts ||
+        (config().link_contention == LinkContention::kStoreForward &&
+         dst != rank())) {
+      hb->write(rank(), HbObj::kLink, rank());
+    }
   }
   if (MessageTrace* t = machine_->message_trace()) {
     t->record_send(rank(), dst, tag, m.seq, m.payload.size(), m.epoch);
@@ -173,6 +185,20 @@ Message Context::recv_message(int src, int tag) {
   cnt.msgs_recv += 1;
   cnt.bytes_recv += m.size_bytes();
   cnt.recv_by_tag[m.tag] += 1;
+  if (HbLog* hb = machine_->hb_log(); hb != nullptr) {
+    // After the match edge recorded in Mailbox::recv: the receive-side
+    // clock/counter advance, plus the contention state it resolved
+    // against (ejection port under kPorts, interior-edge ledger under
+    // store-and-forward with hops > 1).
+    hb->write(rank(), HbObj::kClock, rank());
+    hb->write(rank(), HbObj::kCtr, rank());
+    if (config().link_contention == LinkContention::kPorts) {
+      hb->write(rank(), HbObj::kLink, rank());
+    } else if (config().link_contention == LinkContention::kStoreForward &&
+               machine_->hops(m.src, rank()) > 1) {
+      hb->write(rank(), HbObj::kLedger, rank());
+    }
+  }
   return m;
 }
 

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstring>
 
 #include "support/check.hpp"
 
@@ -15,6 +16,15 @@
 #endif
 
 namespace kali {
+
+namespace {
+
+// Stack-bottom canary: frames never legitimately write the lowest bytes of
+// their stack (the stack grows down from bottom + bytes), so any change
+// here means an overflow reached the bottom.
+constexpr std::uint64_t kStackCanary = 0x4b414c4946494252ULL;  // "KALIFIBR"
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FiberStackArena
@@ -42,6 +52,15 @@ FiberStackArena::FiberStackArena(int nstacks, std::size_t stack_bytes) {
                  "fiber arena: mprotect guard page failed");
     }
   }
+  for (int i = 0; i < nstacks; ++i) {
+    std::memcpy(stack_bottom(i), &kStackCanary, sizeof(kStackCanary));
+  }
+}
+
+bool FiberStackArena::canary_ok(int i) const {
+  std::uint64_t word = 0;
+  std::memcpy(&word, stack_bottom(i), sizeof(word));
+  return word == kStackCanary;
 }
 
 FiberStackArena::~FiberStackArena() {

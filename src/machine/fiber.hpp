@@ -56,6 +56,15 @@ class FiberStackArena {
   [[nodiscard]] std::size_t stack_bytes() const { return stack_bytes_; }
   [[nodiscard]] bool guarded() const { return guarded_; }
 
+  /// True while the canary word written at the lowest bytes of stack i is
+  /// intact.  A false return means the fiber's frames reached the very
+  /// bottom of its stack — an overflow the guard page would have trapped,
+  /// detectable after the fact even in guardless (large-population)
+  /// arenas.  The scheduler checks this every time a fiber switches out
+  /// and turns a corruption into a diagnosed abort instead of a silent
+  /// scribble over the neighbouring stack.
+  [[nodiscard]] bool canary_ok(int i) const;
+
  private:
   char* base_ = nullptr;
   std::size_t map_bytes_ = 0;

@@ -1,0 +1,157 @@
+#include "machine/hb.hpp"
+
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace kali {
+
+namespace {
+
+const char* obj_name(HbObj o) {
+  switch (o) {
+    case HbObj::kClock:
+      return "clock";
+    case HbObj::kLink:
+      return "link";
+    case HbObj::kLedger:
+      return "ledger";
+    case HbObj::kCtr:
+      return "ctr";
+    case HbObj::kEpoch:
+      return "epoch";
+    case HbObj::kMbox:
+      return "mbox";
+  }
+  return "?";
+}
+
+}  // namespace
+
+HbLog::HbLog(int nprocs) : nprocs_(nprocs) {
+  KALI_CHECK(nprocs >= 1, "HbLog needs at least one rank");
+  shards_.resize(static_cast<std::size_t>(nprocs) + 1);
+}
+
+std::vector<HbLog::Event>& HbLog::shard(int actor) {
+  KALI_CHECK(actor >= kMachineActor && actor < nprocs_,
+             "HbLog: actor out of range");
+  const std::size_t i = actor == kMachineActor
+                            ? static_cast<std::size_t>(nprocs_)
+                            : static_cast<std::size_t>(actor);
+  return shards_[i];
+}
+
+void HbLog::send(int actor, int dst, std::uint64_t mseq) {
+  push(actor, {Kind::kSend, HbObj::kClock, dst, mseq});
+}
+
+void HbLog::match(int actor, int src, std::uint64_t mseq) {
+  push(actor, {Kind::kMatch, HbObj::kClock, src, mseq});
+}
+
+void HbLog::park(int actor, std::uint64_t park_seq) {
+  push(actor, {Kind::kPark, HbObj::kClock, 0, park_seq});
+}
+
+void HbLog::wake(int actor, int target, std::uint64_t park_seq) {
+  push(actor, {Kind::kWake, HbObj::kClock, target, park_seq});
+}
+
+void HbLog::woken(int actor, std::uint64_t park_seq) {
+  push(actor, {Kind::kWoken, HbObj::kClock, 0, park_seq});
+}
+
+void HbLog::quiesce_enter(int actor, std::uint64_t gen) {
+  push(actor, {Kind::kQEnter, HbObj::kClock, 0, gen});
+}
+
+void HbLog::quiesce_run(int actor, std::uint64_t gen) {
+  push(actor, {Kind::kQRun, HbObj::kClock, 0, gen});
+}
+
+void HbLog::quiesce_release(int actor, std::uint64_t gen) {
+  push(actor, {Kind::kQRelease, HbObj::kClock, 0, gen});
+}
+
+void HbLog::quiesce_leave(int actor, std::uint64_t gen) {
+  push(actor, {Kind::kQLeave, HbObj::kClock, 0, gen});
+}
+
+void HbLog::read(int actor, HbObj obj, int owner) {
+  push(actor, {Kind::kRead, obj, owner, 0});
+}
+
+void HbLog::write(int actor, HbObj obj, int owner) {
+  push(actor, {Kind::kWrite, obj, owner, 0});
+}
+
+void HbLog::write_log(std::ostream& os) const {
+  os << "kali-hb 1 " << nprocs_ << "\n";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const int actor =
+        s == static_cast<std::size_t>(nprocs_) ? kMachineActor
+                                               : static_cast<int>(s);
+    std::uint64_t aseq = 0;
+    for (const Event& e : shards_[s]) {
+      switch (e.kind) {
+        case Kind::kSend:
+          os << "send " << actor << ' ' << aseq << ' ' << e.peer << ' '
+             << e.n;
+          break;
+        case Kind::kMatch:
+          os << "recv " << actor << ' ' << aseq << ' ' << e.peer << ' '
+             << e.n;
+          break;
+        case Kind::kPark:
+          os << "park " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kWake:
+          os << "wake " << actor << ' ' << aseq << ' ' << e.peer << ' '
+             << e.n;
+          break;
+        case Kind::kWoken:
+          os << "woken " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kQEnter:
+          os << "qenter " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kQRun:
+          os << "qrun " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kQRelease:
+          os << "qrel " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kQLeave:
+          os << "qleave " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kRead:
+          os << "r " << actor << ' ' << aseq << ' ' << obj_name(e.obj)
+             << ':' << e.peer;
+          break;
+        case Kind::kWrite:
+          os << "w " << actor << ' ' << aseq << ' ' << obj_name(e.obj)
+             << ':' << e.peer;
+          break;
+      }
+      os << "\n";
+      ++aseq;
+    }
+  }
+}
+
+void HbLog::clear() {
+  for (auto& s : shards_) {
+    s.clear();
+  }
+}
+
+std::size_t HbLog::total_events() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    n += s.size();
+  }
+  return n;
+}
+
+}  // namespace kali

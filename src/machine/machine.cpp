@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "machine/context.hpp"
+#include "machine/hb.hpp"
 #include "machine/scheduler.hpp"
 #include "machine/topology.hpp"
 #include "support/check.hpp"
@@ -62,40 +63,61 @@ void Machine::run(const std::function<void(Context&)>& program) {
   // its fiber (mailbox.cpp recv_fiber) instead of blocking a host thread.
   FiberScheduler sched(p, cfg_.sim_workers, cfg_.recv_timeout_wall,
                        cfg_.fiber_stack_bytes);
+  if (cfg_.sim_hook != nullptr) {
+    sched.set_hook(cfg_.sim_hook);
+  }
+  if (cfg_.sim_clock != nullptr) {
+    sched.set_clock(cfg_.sim_clock);
+  }
+  if (HbLog* hb = hb_log(); hb != nullptr) {
+    sched.attach_hb_log(hb);
+  }
   for (auto& q : procs_) {
     q->mailbox().attach_scheduler(&sched, q->rank());
   }
   active_sched_ = &sched;
-  sched.run([&](int r) {
-    Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
-    try {
-      program(ctx);
-      // Retire this rank in the wait-for graph: peers still waiting on
-      // it may have just become unsatisfiable, which mark_done detects
-      // (the throw lands in the catch below like any program error).
-      if (detector_) {
-        detector_->mark_done(r);
-      }
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lk(error_mu);
-        if (!first_error) {
-          first_error = std::current_exception();
+  std::exception_ptr sched_error;
+  try {
+    sched.run([&](int r) {
+      Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
+      try {
+        program(ctx);
+        // Retire this rank in the wait-for graph: peers still waiting on
+        // it may have just become unsatisfiable, which mark_done detects
+        // (the throw lands in the catch below like any program error).
+        if (detector_) {
+          detector_->mark_done(r);
         }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        failed.store(true);
+        // Wake every blocked peer so the whole run unwinds promptly —
+        // mailboxes first (parked recvs), then the scheduler (quiesce
+        // parks and any park still in flight).
+        for (auto& q : procs_) {
+          q->mailbox().abort();
+        }
+        sched.abort();
       }
-      failed.store(true);
-      // Wake every blocked peer so the whole run unwinds promptly —
-      // mailboxes first (parked recvs), then the scheduler (quiesce
-      // parks and any park still in flight).
-      for (auto& q : procs_) {
-        q->mailbox().abort();
-      }
-      sched.abort();
-    }
-  });
+    });
+  } catch (...) {
+    // The scheduler itself failed (e.g. a fiber stack overflow it
+    // diagnosed at a switch-out).  Detach below, then rethrow this FIRST:
+    // ranks that died secondarily ("recv aborted") must not mask the
+    // root cause.
+    sched_error = std::current_exception();
+  }
   active_sched_ = nullptr;
   for (auto& q : procs_) {
     q->mailbox().attach_scheduler(nullptr, -1);
+  }
+  if (sched_error) {
+    std::rethrow_exception(sched_error);
   }
   if (failed.load()) {
     std::rethrow_exception(first_error);
@@ -146,12 +168,24 @@ void Machine::quiesce_compact() {
     // the sender's clock (clocks never move backwards inside a phase, and
     // sync_clocks realigns upward), and a queued message's future receive
     // replays its recorded send_time.
+    HbLog* hb = hb_log();
+    const int actor = FiberScheduler::current_rank();
     double floor = std::numeric_limits<double>::infinity();
     for (const auto& q : procs_) {
+      if (hb != nullptr) {
+        // Cross-rank reads, sanctioned by the quiesce: they sit between
+        // the leader's qrun and qrel events, so the analyzer sees them
+        // ordered against every peer's own accesses.
+        hb->read(actor, HbObj::kClock, q->rank());
+        hb->read(actor, HbObj::kMbox, q->rank());
+      }
       floor = std::min(floor, q->clock());
       floor = std::min(floor, q->mailbox().min_pending_send_time());
     }
     for (auto& q : procs_) {
+      if (hb != nullptr) {
+        hb->write(actor, HbObj::kLedger, q->rank());
+      }
       q->compact_edge_ledgers(floor);
     }
   });

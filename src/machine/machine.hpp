@@ -23,6 +23,7 @@ namespace kali {
 
 class Context;
 class FiberScheduler;
+class HbLog;
 class MessageTrace;
 
 class Machine {
@@ -78,11 +79,25 @@ class Machine {
   void attach_message_trace(MessageTrace* t) { trace_ = t; }
   [[nodiscard]] MessageTrace* message_trace() const { return trace_; }
 
+  /// Attach a happens-before event log (machine/hb.hpp HbLog) that
+  /// subsequent runs record synchronization and shared-state access events
+  /// into, or nullptr to detach.  Sized for at least this machine; must
+  /// outlive the runs.  Recording additionally requires
+  /// MachineConfig::hb_instrumentation (on by default).  Harness-side
+  /// observability only — never feeds clocks, payloads, or stats.
+  void attach_hb_log(HbLog* log) { hb_ = log; }
+  /// The log runs will record into: the attached log when instrumentation
+  /// is enabled, else nullptr.
+  [[nodiscard]] HbLog* hb_log() const {
+    return cfg_.hb_instrumentation ? hb_ : nullptr;
+  }
+
  private:
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Processor>> procs_;
   std::unique_ptr<DeadlockDetector> detector_;
   MessageTrace* trace_ = nullptr;
+  HbLog* hb_ = nullptr;
   FiberScheduler* active_sched_ = nullptr;  ///< non-null only inside run()
 };
 

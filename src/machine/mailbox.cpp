@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "machine/deadlock.hpp"
+#include "machine/hb.hpp"
 #include "machine/scheduler.hpp"
 #include "support/check.hpp"
 
@@ -23,6 +24,16 @@ namespace {
 }  // namespace
 
 void Mailbox::push(Message m) {
+  if (sched_ != nullptr) {
+    if (HbLog* hb = sched_->hb_log(); hb != nullptr) {
+      // Recorded from the sending fiber (actor m.src) into its own shard.
+      // The push is both the synchronization edge to the matching recv and
+      // a write to the destination's mailbox object (cross-sender inserts
+      // commute — see HbObj::kMbox).
+      hb->send(m.src, owner_rank_, m.seq);
+      hb->write(m.src, HbObj::kMbox, owner_rank_);
+    }
+  }
   bool wake_owner = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -74,12 +85,22 @@ Message Mailbox::recv_fiber(int src, int tag, double timeout_wall_seconds,
                             DeadlockDetector* detector, int self_rank) {
   FiberScheduler* sched = sched_;
   for (;;) {
+    if (sched->aborted()) {
+      // Scheduler-level abort (e.g. a diagnosed stack overflow) may not
+      // have marked the mailboxes; without this check a parked recv would
+      // re-park forever against a pool that is shutting down.
+      throw Error("recv aborted: the scheduler is shutting down");
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (aborted_) {
         throw Error("recv aborted: a peer processor failed");
       }
       if (auto m = try_pop_locked(src, tag)) {
+        if (HbLog* hb = sched->hb_log(); hb != nullptr) {
+          hb->match(owner_rank_, m->src, m->seq);
+          hb->write(owner_rank_, HbObj::kMbox, owner_rank_);
+        }
         return std::move(*m);
       }
     }

@@ -69,6 +69,22 @@ inline constexpr int kTagInspReq = kRuntimeTagBase + 64;
 /// Inspector/executor gather: executor value payloads.
 inline constexpr int kTagInspData = kRuntimeTagBase + 65;
 
+/// Runtime-band allocation table: X(constant, width) for every allocation
+/// registered above, in ascending base order.  The single source of truth
+/// for band membership — is_registered_tag and tag_name expand it, and
+/// tools/check_trace.py parses these rows (together with the constant
+/// definitions above) so the offline trace verifier can never drift from
+/// the runtime registry.  Register new runtime tags by adding a constant
+/// above AND a row here.
+#define KALI_RUNTIME_TAG_ALLOCS(X) \
+  X(kTagHaloBase, 12)              \
+  X(kTagRedistData, 1)             \
+  X(kTagRemap, 1)                  \
+  X(kTagHaloCornerBase, 27)       \
+  X(kTagHaloCornerPack, 1)        \
+  X(kTagInspReq, 1)               \
+  X(kTagInspData, 1)
+
 // Kernel band allocations --------------------------------------------------
 
 /// Pipelined tridiagonal solver (kernels/tri_pipeline.hpp): per-system
@@ -79,6 +95,15 @@ inline constexpr int kTagTriBase = 1 << 23;
 /// occupies [base, base + 3), at the three-quarter point of the kernel
 /// band, clear of tri_pipeline's parameterized block above kTagTriBase.
 inline constexpr int kTagBaselineBase = 3 << 22;
+
+// Collectives band allocation -----------------------------------------------
+
+/// Bounds of the collectives-band block actually allocated:
+/// kTagReduceUp (base + 1) .. kTagAllGather (base + 7).  The constants
+/// themselves live in collectives.hpp (a higher layer this header cannot
+/// include); a static_assert there pins them inside these bounds.
+inline constexpr int kCollectiveTagFirst = kCollectiveTagBase + 1;
+inline constexpr int kCollectiveTagLast = kCollectiveTagBase + 7;
 
 /// True iff `tag` lies inside a registered band allocation.  The user band
 /// is free-form (application programs own it wholesale); the runtime band
@@ -96,17 +121,18 @@ inline constexpr int kTagBaselineBase = 3 << 22;
     return true;  // user band: application programs own it
   }
   if (tag < kKernelTagBase) {
-    return (tag >= kTagHaloBase && tag < kTagHaloBase + 12) ||
-           tag == kTagRedistData || tag == kTagRemap ||
-           (tag >= kTagHaloCornerBase && tag < kTagHaloCornerBase + 27) ||
-           tag == kTagHaloCornerPack ||
-           tag == kTagInspReq || tag == kTagInspData;
+#define KALI_TAG_IN_ALLOC(name, width)         \
+  if (tag >= (name) && tag < (name) + (width)) { \
+    return true;                               \
+  }
+    KALI_RUNTIME_TAG_ALLOCS(KALI_TAG_IN_ALLOC)
+#undef KALI_TAG_IN_ALLOC
+    return false;
   }
   if (tag < kCollectiveTagBase) {
     return true;  // kernel band: parameterized allocations (tri sys tags)
   }
-  // Collectives band: kTagReduceUp (base + 1) .. kTagAllGather (base + 7).
-  return tag >= kCollectiveTagBase + 1 && tag <= kCollectiveTagBase + 7;
+  return tag >= kCollectiveTagFirst && tag <= kCollectiveTagLast;
 }
 
 /// Human-readable name of a tag for diagnostics (deadlock dumps, leak
@@ -130,27 +156,12 @@ inline constexpr int kTagBaselineBase = 3 << 22;
     return "user:" + std::to_string(tag);
   }
   if (tag < kKernelTagBase) {
-    if (tag >= kTagHaloBase && tag < kTagHaloBase + 12) {
-      return with_offset("kTagHaloBase", kTagHaloBase);
-    }
-    if (tag == kTagRedistData) {
-      return "kTagRedistData";
-    }
-    if (tag == kTagRemap) {
-      return "kTagRemap";
-    }
-    if (tag >= kTagHaloCornerBase && tag < kTagHaloCornerBase + 27) {
-      return with_offset("kTagHaloCornerBase", kTagHaloCornerBase);
-    }
-    if (tag == kTagHaloCornerPack) {
-      return "kTagHaloCornerPack";
-    }
-    if (tag == kTagInspReq) {
-      return "kTagInspReq";
-    }
-    if (tag == kTagInspData) {
-      return "kTagInspData";
-    }
+#define KALI_TAG_NAME_ALLOC(name, width)                                 \
+  if (tag >= (name) && tag < (name) + (width)) {                         \
+    return (width) == 1 ? std::string(#name) : with_offset(#name, name); \
+  }
+    KALI_RUNTIME_TAG_ALLOCS(KALI_TAG_NAME_ALLOC)
+#undef KALI_TAG_NAME_ALLOC
     return "runtime:" + std::to_string(tag - kRuntimeTagBase);
   }
   if (tag < kCollectiveTagBase) {

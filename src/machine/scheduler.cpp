@@ -8,12 +8,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "machine/fiber.hpp"
+#include "machine/hb.hpp"
 #include "support/check.hpp"
 
 namespace kali {
@@ -48,11 +50,22 @@ struct FiberRecord {
   int rank = 0;
   /// Written by the owning fiber before its kParking release-store; read
   /// by the deadline sweep only after observing kParked under the
-  /// scheduler mutex, so no lock is needed on the write side.
-  WallClock::time_point deadline{};
+  /// scheduler mutex, so no lock is needed on the write side.  Seconds on
+  /// the scheduler clock (Impl::now_s — real steady clock or the
+  /// injected fake).
+  double deadline = 0.0;
   /// Set by the deadline sweep (under the mutex, before the ready push);
   /// consumed by the fiber right after it resumes.
   bool timed_out = false;
+  /// Park counter: bumped by prepare_park before the kParking
+  /// release-store, so (rank, park_seq) names one specific park — the
+  /// happens-before log pairs each wake with the park it released by it.
+  /// Readable by wakers after an acquire-load of `state`.
+  std::uint64_t park_seq = 0;
+  /// True while the current park is a quiesce-rendezvous park: its resume
+  /// is ordered by the quiesce release edge, not a wake event, so
+  /// commit_park must not record a `woken` event for it.
+  bool quiesce_park = false;
 };
 
 struct WorkerRecord {
@@ -93,8 +106,33 @@ struct FiberScheduler::Impl {
   int running = 0;        // fibers currently on a worker (or in transit)
   int finished = 0;
   bool started = false;
-  bool aborted = false;
+  // Atomic so lock-free paths (prepare_park, Mailbox's re-check loop) can
+  // observe an abort without taking mu; still only written under mu.
+  std::atomic<bool> aborted{false};
   std::exception_ptr first_error;  // defensive: body should catch its own
+
+  // Harness seams, all fixed before run(): dispatch hook (interleaving
+  // explorer), clock override (fake-clock tests), happens-before log.
+  SchedulerHook* hook = nullptr;
+  double (*clock_fn)() = nullptr;
+  HbLog* hb = nullptr;
+  const WallClock::time_point epoch0 = WallClock::now();
+
+  /// Seconds on the scheduler clock: the injected fake when set, else the
+  /// real steady clock relative to construction.
+  [[nodiscard]] double now_s() const {
+    if (clock_fn != nullptr) {
+      return clock_fn();
+    }
+    return std::chrono::duration<double>(WallClock::now() - epoch0).count();
+  }
+
+  /// Actor id for happens-before events recorded from the calling
+  /// context: the running fiber's rank, or the machine context (always
+  /// under mu) when no fiber is on this thread.
+  [[nodiscard]] static int hb_actor() {
+    return tls_fiber != nullptr ? tls_fiber->rank : HbLog::kMachineActor;
+  }
 
   // Quiesce rendezvous: arrivals park until the generation advances; the
   // last arrival releases everyone after running the critical section.
@@ -132,6 +170,9 @@ struct FiberScheduler::Impl {
       if (s == FiberState::kParked) {
         if (f.state.compare_exchange_weak(s, FiberState::kReady,
                                           std::memory_order_acq_rel)) {
+          if (hb != nullptr) {
+            hb->wake(hb_actor(), f.rank, f.park_seq);
+          }
           ready.push_back(f.rank);
           cv.notify_one();
           return;
@@ -141,6 +182,9 @@ struct FiberScheduler::Impl {
         // it and its worker requeues it right after the swap.
         if (f.state.compare_exchange_weak(s, FiberState::kWakeRequested,
                                           std::memory_order_acq_rel)) {
+          if (hb != nullptr) {
+            hb->wake(hb_actor(), f.rank, f.park_seq);
+          }
           return;
         }
       } else {
@@ -158,6 +202,25 @@ struct FiberScheduler::Impl {
 
   /// Classify why the fiber switched back, under mu.
   void post_switch_locked(FiberRecord& f) {
+    if (!arena.canary_ok(f.rank)) {
+      // The fiber's frames reached the very bottom of its stack.  In a
+      // guarded arena the guard page usually faults first; this check is
+      // the backstop that still diagnoses the overflow in guardless
+      // (large-population) arenas, or when a big frame stepped over the
+      // guard.  Abort the run with the actionable error.
+      if (!first_error) {
+        first_error = std::make_exception_ptr(Error(
+            "fiber stack overflow: rank " + std::to_string(f.rank) +
+            " overran its " + std::to_string(arena.stack_bytes()) +
+            "-byte stack (bottom canary destroyed); raise "
+            "MachineConfig::fiber_stack_bytes"));
+      }
+      aborted.store(true, std::memory_order_release);
+      for (auto& up : fibers) {
+        wake_locked(*up);
+      }
+      cv.notify_all();
+    }
     FiberState s = f.state.load(std::memory_order_acquire);
     if (s == FiberState::kFinished) {
       f.ctx.destroy();  // TSan fiber teardown — never from the fiber itself
@@ -202,13 +265,25 @@ struct FiberScheduler::Impl {
       cv.wait(lk);
       return;
     }
-    if (WallClock::now() < cand->deadline) {
-      cv.wait_until(lk, cand->deadline);
+    const double now = now_s();
+    if (now < cand->deadline) {
+      if (clock_fn != nullptr) {
+        // Injected clock: no condvar deadline maps onto it, so poll —
+        // the clock only advances when some fiber advances it, and every
+        // fiber transition notifies cv anyway.  The tiny wait bounds the
+        // spin if the clock is advanced from outside the scheduler.
+        cv.wait_for(lk, std::chrono::milliseconds(1));
+      } else {
+        cv.wait_for(lk, std::chrono::duration<double>(cand->deadline - now));
+      }
       return;
     }
     FiberState expect = FiberState::kParked;
     if (cand->state.compare_exchange_strong(expect, FiberState::kReady,
                                             std::memory_order_acq_rel)) {
+      if (hb != nullptr) {
+        hb->wake(HbLog::kMachineActor, cand->rank, cand->park_seq);
+      }
       cand->timed_out = true;
       ready.push_back(cand->rank);
       cv.notify_all();
@@ -223,8 +298,20 @@ struct FiberScheduler::Impl {
     std::unique_lock<std::mutex> lk(mu);
     while (finished < nfibers) {
       if (!ready.empty()) {
-        FiberRecord& f = fiber(ready.front());
-        ready.pop_front();
+        std::size_t pick = 0;
+        if (hook != nullptr) {
+          // Explorer seam: the hook chooses among the runnable fibers
+          // (called under mu; see SchedulerHook).  Invoked even for
+          // singleton ready sets so a replaying hook sees a stable
+          // step numbering.
+          const std::vector<int> snapshot(ready.begin(), ready.end());
+          pick = hook->pick_next(snapshot);
+          if (pick >= snapshot.size()) {
+            pick = 0;
+          }
+        }
+        FiberRecord& f = fiber(ready[pick]);
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
         ++running;
         lk.unlock();
         resume(w, f);
@@ -319,10 +406,13 @@ void FiberScheduler::prepare_park(double timeout_seconds) {
   FiberRecord* f = tls_fiber;
   KALI_CHECK(f != nullptr && f->impl == impl_.get(),
              "prepare_park outside a fiber of this scheduler");
-  f->deadline = WallClock::now() +
-                std::chrono::duration_cast<WallClock::duration>(
-                    std::chrono::duration<double>(timeout_seconds));
+  Impl& im = *impl_;
+  f->deadline = im.now_s() + timeout_seconds;
   f->timed_out = false;
+  ++f->park_seq;
+  if (im.hb != nullptr) {
+    im.hb->park(f->rank, f->park_seq);
+  }
   f->state.store(FiberState::kParking, std::memory_order_release);
 }
 
@@ -333,16 +423,31 @@ bool FiberScheduler::commit_park() {
   w->ctx.set_asan_bounds(f->ctx.peer_bottom(), f->ctx.peer_size());
   fiber_switch(f->ctx, w->ctx);
   // Resumed — possibly on a different worker thread (tls_worker moved on).
+  Impl& im = *impl_;
+  if (im.hb != nullptr && !f->quiesce_park) {
+    // Quiesce parks are ordered by the release edge (qrel -> qleave), not
+    // a wake; recording `woken` for them would dangle.
+    im.hb->woken(f->rank, f->park_seq);
+  }
   return f->timed_out;
 }
 
-void FiberScheduler::cancel_park() {
+bool FiberScheduler::cancel_park() {
   FiberRecord* f = tls_fiber;
   KALI_CHECK(f != nullptr, "cancel_park outside a fiber");
   // kParking normally; kWakeRequested if a wake hit the announce window —
   // either way the fiber is running and the waker's effect (a pushed
   // message, the abort flag) is visible to the caller's re-check.
-  f->state.exchange(FiberState::kRunning, std::memory_order_acq_rel);
+  const FiberState prev =
+      f->state.exchange(FiberState::kRunning, std::memory_order_acq_rel);
+  const bool consumed = prev == FiberState::kWakeRequested;
+  Impl& im = *impl_;
+  if (consumed && im.hb != nullptr) {
+    // The waker already logged `wake (rank, park_seq)`; consume it here so
+    // the edge pairs up even though no suspension happened.
+    im.hb->woken(f->rank, f->park_seq);
+  }
+  return consumed;
 }
 
 void FiberScheduler::quiesce(const std::function<void()>& on_last) {
@@ -354,17 +459,25 @@ void FiberScheduler::quiesce(const std::function<void()>& on_last) {
     throw Error("quiesce aborted: a peer processor failed");
   }
   const unsigned long long gen = im.q_gen;
+  if (im.hb != nullptr) {
+    im.hb->quiesce_enter(f->rank, gen);
+  }
   ++im.q_arrived;
   if (im.q_arrived < im.nfibers) {
     im.q_parked.push_back(f->rank);
     lk.unlock();
+    f->quiesce_park = true;
     prepare_park(im.park_timeout);
     const bool timed_out = commit_park();
+    f->quiesce_park = false;
     lk.lock();
     if (im.aborted) {
       throw Error("quiesce aborted: a peer processor failed");
     }
     if (im.q_gen != gen) {
+      if (im.hb != nullptr) {
+        im.hb->quiesce_leave(f->rank, gen);
+      }
       return;  // released (a racing late timeout wake is benign)
     }
     KALI_CHECK(timed_out, "quiesce fiber woke without release or timeout");
@@ -390,9 +503,19 @@ void FiberScheduler::quiesce(const std::function<void()>& on_last) {
   if (im.aborted) {
     throw Error("quiesce aborted: a peer processor failed");
   }
+  if (im.hb != nullptr) {
+    // qenter(gen) of every actor happens-before qrun(gen): the leader saw
+    // each peer kParked (acquire) after its qenter.
+    im.hb->quiesce_run(f->rank, gen);
+  }
   lk.unlock();
   on_last();  // peers suspended: cross-rank state is safe to touch
   lk.lock();
+  if (im.hb != nullptr) {
+    // qrel(gen) happens-before every qleave(gen): peers resume only after
+    // the release CAS below.
+    im.hb->quiesce_release(f->rank, gen);
+  }
   ++im.q_gen;
   im.q_arrived = 0;
   for (int r : im.q_parked) {
@@ -404,6 +527,9 @@ void FiberScheduler::quiesce(const std::function<void()>& on_last) {
     im.ready.push_back(r);
   }
   im.q_parked.clear();
+  if (im.hb != nullptr) {
+    im.hb->quiesce_leave(f->rank, gen);
+  }
   im.cv.notify_all();
 }
 
@@ -425,12 +551,38 @@ void FiberScheduler::abort() {
 }
 
 bool FiberScheduler::aborted() const {
-  Impl& im = *impl_;
-  std::lock_guard<std::mutex> lk(im.mu);
-  return im.aborted;
+  // Lock-free: Mailbox's recv loop polls this between park attempts.
+  return impl_->aborted.load(std::memory_order_acquire);
 }
 
 int FiberScheduler::nfibers() const { return impl_->nfibers; }
+
+void FiberScheduler::set_hook(SchedulerHook* hook) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  KALI_CHECK(!im.started, "set_hook: scheduler already started");
+  im.hook = hook;
+}
+
+void FiberScheduler::set_clock(double (*now_seconds)()) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  KALI_CHECK(!im.started, "set_clock: scheduler already started");
+  im.clock_fn = now_seconds;
+}
+
+void FiberScheduler::attach_hb_log(HbLog* log) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lk(im.mu);
+  KALI_CHECK(!im.started, "attach_hb_log: scheduler already started");
+  if (log != nullptr) {
+    KALI_CHECK(log->nprocs() >= im.nfibers,
+               "attach_hb_log: log sized for fewer ranks than fibers");
+  }
+  im.hb = log;
+}
+
+HbLog* FiberScheduler::hb_log() const { return impl_->hb; }
 
 FiberScheduler* FiberScheduler::current() {
   return tls_fiber != nullptr ? tls_sched : nullptr;

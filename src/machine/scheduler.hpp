@@ -31,8 +31,30 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace kali {
+
+class HbLog;
+
+/// Harness seam for systematic interleaving exploration: when installed
+/// (set_hook / MachineConfig::sim_hook), every dispatch decision a worker
+/// makes is delegated to the hook, which picks the next runnable fiber
+/// from the FIFO-ordered ready queue.  tools/explore_scheduler drives
+/// small programs through every reachable dispatch sequence this way and
+/// asserts the results are bit-identical — the mechanized form of the
+/// determinism contract above.
+///
+/// pick_next is called under the scheduler lock: it must not call back
+/// into the scheduler, and with sim_workers > 1 it must be thread-safe.
+/// Out-of-range picks fall back to index 0 (FIFO).
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+  /// `ready` lists the runnable ranks in FIFO order (always non-empty).
+  /// Return the index of the rank the worker should dispatch.
+  virtual std::size_t pick_next(const std::vector<int>& ready) = 0;
+};
 
 class FiberScheduler {
  public:
@@ -76,7 +98,9 @@ class FiberScheduler {
   bool commit_park();
 
   /// Abandon a prepared park (the condition was already satisfied).
-  void cancel_park();
+  /// Returns true iff a wake had already landed in the announce window
+  /// (its happens-before edge is consumed here instead of at a resume).
+  bool cancel_park();
 
   /// Park until all nfibers ranks arrive; the last arrival alone runs
   /// `on_last` while every peer is provably suspended (their rank-sharded
@@ -97,6 +121,24 @@ class FiberScheduler {
 
   [[nodiscard]] bool aborted() const;
   [[nodiscard]] int nfibers() const;
+
+  /// Install a dispatch hook (see SchedulerHook).  Call before run();
+  /// nullptr restores FIFO dispatch.
+  void set_hook(SchedulerHook* hook);
+
+  /// Replace the wall-clock source behind park deadlines and the stall
+  /// sweep with `now_seconds` (monotone non-decreasing, fake-clock seam
+  /// for tests/explorer — MachineConfig::sim_clock plumbs it through
+  /// Machine::run).  Call before run(); nullptr restores the real
+  /// steady clock.  Never feeds simulated clocks either way.
+  void set_clock(double (*now_seconds)());
+
+  /// Attach a happens-before event log (machine/hb.hpp): park/wake pairs,
+  /// quiesce rendezvous edges, and stall-sweep wakes of subsequent runs
+  /// are recorded into it.  nullptr detaches.  The log must outlive the
+  /// run; Machine::run attaches its own machine-level log here.
+  void attach_hb_log(HbLog* log);
+  [[nodiscard]] HbLog* hb_log() const;
 
   /// Scheduler whose fiber is running on the calling thread, or nullptr
   /// when the caller is not a fiber (Mailbox uses this to fall back to

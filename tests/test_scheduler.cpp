@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -165,13 +166,25 @@ TEST(FiberScheduler, DeadlockDetectorFiresBeforeWallClockFallback) {
   }
 }
 
+std::atomic<long> g_fake_ticks{0};
+
+/// Monotone fake clock (MachineConfig::sim_clock): each observation
+/// advances fake time, so the quiesce-park deadline below passes after a
+/// handful of scheduler sweep polls instead of 0.3 real seconds.
+double fake_clock() {
+  return 0.01 * static_cast<double>(g_fake_ticks.fetch_add(1));
+}
+
 TEST(FiberScheduler, QuiesceMismatchDiagnosedNotHung) {
   // One rank skips the collective quiesce: the arrived ranks' park times
-  // out with a collective-mismatch diagnostic instead of hanging.
+  // out with a collective-mismatch diagnostic instead of hanging.  The
+  // timeout runs on the injected fake clock — no real waiting.
+  g_fake_ticks.store(0);
   MachineConfig cfg;
-  cfg.recv_timeout_wall = 0.3;
+  cfg.recv_timeout_wall = 0.3;     // fake seconds
   cfg.deadlock_detection = false;  // the graph can't see quiesce parks
   cfg.sim_workers = 2;
+  cfg.sim_clock = fake_clock;
   Machine m(2, cfg);
   try {
     m.run([](Context& ctx) {

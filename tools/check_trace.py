@@ -19,8 +19,10 @@ and scripts/check_docs.sh fails on drift):
   trace-format    header/line syntax, ranks in range, matched send/recv
                   payload sizes agree, no duplicate (src, dst, tag, seq)
   bad-tag         every sent tag lies in a registered band of the
-                  reserved-tag registry (mirrors is_registered_tag in
-                  src/machine/message.hpp — keep the two in sync)
+                  reserved-tag registry (the band bases, runtime-band
+                  allocation table, and collectives bounds are parsed
+                  out of src/machine/message.hpp at startup, so the
+                  verifier can never drift from the header)
   unmatched-send  a message was sent and never received (the online
                   counterpart is the sync_clocks/teardown leak check)
   unmatched-recv  a receive consumed a message no send produced
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import re
 import sys
 
 RULES = (
@@ -52,37 +55,79 @@ RULES = (
 
 FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "trace_fixtures"
 
-# --- reserved-tag registry mirror (src/machine/message.hpp) -----------------
-# Keep in sync with is_registered_tag(); the docs CI job checks the C++ side.
+# --- reserved-tag registry, parsed from src/machine/message.hpp -------------
+# The registry's single source of truth is the C++ header: the band bases,
+# the KALI_RUNTIME_TAG_ALLOCS X-macro allocation table, and the
+# collectives-band bounds.  Parsing them at startup (instead of keeping a
+# hand-maintained Python mirror) means a new runtime-band allocation is
+# picked up here automatically; the parse is deliberately rigid and fails
+# loudly if the header's shape changes.
 
-RUNTIME_TAG_BASE = 1 << 20
-KERNEL_TAG_BASE = 1 << 22
-COLLECTIVE_TAG_BASE = 1 << 24
-TAG_HALO_BASE = RUNTIME_TAG_BASE
-TAG_REDIST_DATA = RUNTIME_TAG_BASE + 16
-TAG_REMAP = RUNTIME_TAG_BASE + 17
-TAG_HALO_CORNER_BASE = RUNTIME_TAG_BASE + 32
-TAG_HALO_CORNER_PACK = RUNTIME_TAG_BASE + 60
-TAG_INSP_REQ = RUNTIME_TAG_BASE + 64
-TAG_INSP_DATA = RUNTIME_TAG_BASE + 65
+MESSAGE_HPP = (pathlib.Path(__file__).resolve().parent.parent
+               / "src" / "machine" / "message.hpp")
+
+# Constant value expressions are integer arithmetic over earlier constants:
+# literals, identifiers, +, -, <<, parens.
+_CONST_RE = re.compile(r"^inline constexpr int (k\w+) = ([^;]+);", re.M)
+_EXPR_OK_RE = re.compile(r"^[\w\s()+\-<]+$")
+_ALLOCS_RE = re.compile(
+    r"#define KALI_RUNTIME_TAG_ALLOCS\(X\)((?:[^\n]*\\\n)*[^\n]*)")
+_ROW_RE = re.compile(r"X\((k\w+),\s*(\d+)\)")
+
+
+def _parse_registry(header: pathlib.Path):
+    try:
+        text = header.read_text()
+    except OSError as e:
+        raise SystemExit(f"check_trace: cannot read tag registry: {e}")
+    consts: dict[str, int] = {}
+    for name, expr in _CONST_RE.findall(text):
+        expr = expr.strip()
+        if not _EXPR_OK_RE.match(expr):
+            raise SystemExit(
+                f"{header}: constant {name} has an unparseable value "
+                f"{expr!r} (extend the parser in check_trace.py)")
+        try:
+            consts[name] = int(eval(expr, {"__builtins__": {}}, dict(consts)))
+        except Exception as e:  # undefined name, syntax, ...
+            raise SystemExit(
+                f"{header}: cannot evaluate {name} = {expr!r}: {e}")
+    block = _ALLOCS_RE.search(text)
+    if block is None:
+        raise SystemExit(
+            f"{header}: KALI_RUNTIME_TAG_ALLOCS(X) table not found")
+    allocs = []
+    for name, width in _ROW_RE.findall(block.group(1)):
+        if name not in consts:
+            raise SystemExit(
+                f"{header}: X-macro row {name} names no defined constant")
+        allocs.append((consts[name], int(width)))
+    if not allocs:
+        raise SystemExit(f"{header}: empty runtime-band allocation table")
+    for required in ("kRuntimeTagBase", "kKernelTagBase",
+                     "kCollectiveTagBase", "kCollectiveTagFirst",
+                     "kCollectiveTagLast"):
+        if required not in consts:
+            raise SystemExit(f"{header}: missing constant {required}")
+    return consts, allocs
+
+
+_CONSTS, _RUNTIME_ALLOCS = _parse_registry(MESSAGE_HPP)
 
 
 def is_registered_tag(tag: int) -> bool:
+    """Python twin of is_registered_tag() in src/machine/message.hpp,
+    driven by the constants parsed out of that header — never a mirror."""
     if tag < 0:
         return False
-    if tag < RUNTIME_TAG_BASE:
-        return True  # user band
-    if tag < KERNEL_TAG_BASE:
-        return (
-            TAG_HALO_BASE <= tag < TAG_HALO_BASE + 12
-            or tag in (TAG_REDIST_DATA, TAG_REMAP)
-            or TAG_HALO_CORNER_BASE <= tag < TAG_HALO_CORNER_BASE + 27
-            or tag == TAG_HALO_CORNER_PACK
-            or tag in (TAG_INSP_REQ, TAG_INSP_DATA)
-        )
-    if tag < COLLECTIVE_TAG_BASE:
+    if tag < _CONSTS["kRuntimeTagBase"]:
+        return True  # user band: application programs own it
+    if tag < _CONSTS["kKernelTagBase"]:
+        return any(base <= tag < base + width
+                   for base, width in _RUNTIME_ALLOCS)
+    if tag < _CONSTS["kCollectiveTagBase"]:
         return True  # kernel band: parameterized allocations
-    return COLLECTIVE_TAG_BASE + 1 <= tag <= COLLECTIVE_TAG_BASE + 7
+    return _CONSTS["kCollectiveTagFirst"] <= tag <= _CONSTS["kCollectiveTagLast"]
 
 
 # --- verifier ---------------------------------------------------------------

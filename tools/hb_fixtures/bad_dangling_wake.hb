@@ -1,0 +1,13 @@
+# Rank 1 resumes from a park nothing woke: the woken event has no
+# matching wake producer, so the resume is not justified by any
+# synchronization edge.
+# HB-EXPECT: dangling-edge
+kali-hb 1 2
+send 0 0 1 0
+w 0 1 mbox:1
+w 0 2 clock:0
+park 1 0 1
+woken 1 1 1
+recv 1 2 0 0
+w 1 3 mbox:1
+w 1 4 clock:1

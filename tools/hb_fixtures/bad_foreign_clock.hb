@@ -1,0 +1,13 @@
+# Rank 1 reads rank 0's clock outside any quiesce.  The read happens to
+# be ordered (it follows the recv of rank 0's message, sent after the
+# write), so no unordered-* rule fires -- rank-sharding is violated even
+# when the access is ordered, and foreign-access alone must catch it.
+# HB-EXPECT: foreign-access
+kali-hb 1 2
+w 0 0 clock:0
+send 0 1 1 0
+w 0 2 mbox:1
+recv 1 0 0 0
+w 1 1 mbox:1
+r 1 2 clock:0
+w 1 3 clock:1

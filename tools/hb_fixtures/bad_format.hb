@@ -1,0 +1,5 @@
+# An event line with an unknown kind: the parser must reject it.
+# HB-EXPECT: hb-format
+kali-hb 1 2
+send 0 0 1 0
+frobnicate 0 1 7

@@ -1,0 +1,9 @@
+# Rank 1 peeks at its own mailbox while rank 0's push races in.
+# Mailbox write/write commutes by design (insert order only feeds the
+# nondeterministic mailbox_peaks diagnostic), but a racing *read*
+# observes a nondeterministic queue state.
+# HB-EXPECT: unordered-read-write
+kali-hb 1 2
+send 0 0 1 0
+w 0 1 mbox:1
+r 1 0 mbox:1

@@ -1,0 +1,10 @@
+# Rank 1 pokes rank 0's clock with no ordering edge: both a sharding
+# violation (foreign-access) and a write/write determinism race
+# (unordered-write) -- the final clock depends on host scheduling.
+# HB-EXPECT: foreign-access
+# HB-EXPECT: unordered-write
+kali-hb 1 2
+w 0 0 clock:0
+w 0 1 ctr:0
+w 1 0 clock:0
+w 1 1 clock:1

@@ -1,0 +1,29 @@
+# A clean exchange-then-quiesce run at P=2: rank 0 sends to rank 1
+# (which parks and is woken by the push), both advance their own
+# clock/counters, then a quiesce whose leader (rank 0) reads every
+# rank's clock and mailbox and rewrites every ledger inside the
+# qrun..qrel window.  Must analyze clean.
+kali-hb 1 2
+send 0 0 1 0
+w 0 1 mbox:1
+wake 0 2 1 1
+w 0 3 clock:0
+w 0 4 ctr:0
+qenter 0 5 0
+qrun 0 6 0
+r 0 7 clock:0
+r 0 8 clock:1
+r 0 9 mbox:0
+r 0 10 mbox:1
+w 0 11 ledger:0
+w 0 12 ledger:1
+qrel 0 13 0
+qleave 0 14 0
+park 1 0 1
+woken 1 1 1
+recv 1 2 0 0
+w 1 3 mbox:1
+w 1 4 clock:1
+w 1 5 ctr:1
+qenter 1 6 0
+qleave 1 7 0

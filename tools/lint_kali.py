@@ -37,6 +37,17 @@ compiler never checks.  This linter enforces the written rules:
                  a collective only some group members enter deadlocks the
                  rest (the wait-for-graph detector catches it at run time;
                  this catches it at lint time).
+  shared-state   Processor cost-model mutators and ledger accessors
+                 (set_clock/realign_clock/set_*_link_free/reserve_edge/
+                 compact_edge_ledgers/clear_link_state/bump_barrier_epoch/
+                 out_edge_free/edge_ledger) may be called only from the
+                 sanctioned machine-layer files (context.cpp,
+                 collectives.cpp, machine.cpp, processor.hpp): anywhere
+                 else, a rank mutating simulator state -- possibly a
+                 *peer's* -- bypasses the rank-sharding contract the
+                 happens-before analyzer (tools/check_hb.py) checks at
+                 run time.  Name-based, so it also catches mutations of
+                 foreign processors via Machine::proc(r).
 
 A finding can be waived in place with a reasoned pragma on the same line
 or the line above:
@@ -64,6 +75,7 @@ RULES = (
     "layering",
     "raw-exchange",
     "collective-symmetry",
+    "shared-state",
 )
 
 # Layer DAG: which layers each layer's headers may include.  `support` is
@@ -109,6 +121,21 @@ COLLECTIVE_CALL_RE = re.compile(
     r"\b(?:barrier|sync_clocks|allreduce(?:_sum|_max)?|broadcast|reduce"
     r"|gather|all_gather|exchange_halo)\s*\(")
 CONDITIONAL_RE = re.compile(r"\b(?:if|while|for|switch)\s*\(")
+# Member calls that mutate (or hand out mutable views of) a Processor's
+# rank-sharded cost-model state.
+SHARED_STATE_RE = re.compile(
+    r"(?:\.|->)\s*(?:set_clock|realign_clock|set_out_link_free|"
+    r"set_in_link_free|reserve_edge|compact_edge_ledgers|clear_link_state|"
+    r"bump_barrier_epoch|out_edge_free|edge_ledger)\s*\(")
+# The files the machine model sanctions to touch that state: the cost
+# model itself, the sync_clocks barrier, the quiesce compaction leader,
+# and the Processor definition.
+SHARED_STATE_SANCTIONED = {
+    "src/machine/context.cpp",
+    "src/machine/collectives.cpp",
+    "src/machine/machine.cpp",
+    "src/machine/processor.hpp",
+}
 # Tokens that make a conditional rank-dependent: the SPMD rank, a group
 # index, or a processor-grid coordinate.  Group membership alone
 # (g.contains(...)) is deliberately not matched — calling a collective on a
@@ -327,6 +354,17 @@ def lint_file(root, relpath, findings):
             depth += line.count("{") - line.count("}")
             while guard_stack and depth <= guard_stack[-1] and "}" in line:
                 guard_stack.pop()
+
+    # --- shared-state (everywhere except the sanctioned mutator files) ------
+    if relpath.replace(os.sep, "/") not in SHARED_STATE_SANCTIONED:
+        for i, line in enumerate(code):
+            m = SHARED_STATE_RE.search(line)
+            if m:
+                report(i, "shared-state",
+                       "Processor cost-model mutator outside the sanctioned "
+                       "files (context.cpp/collectives.cpp/machine.cpp/"
+                       "processor.hpp): rank-sharded simulator state must "
+                       "not be poked ad hoc")
 
     # --- raw-exchange (runtime only) ----------------------------------------
     if layer == "runtime":
