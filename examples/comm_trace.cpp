@@ -24,6 +24,7 @@
 #include "machine/context.hpp"
 #include "machine/hb.hpp"
 #include "machine/trace.hpp"
+#include "runtime/doall.hpp"
 #include "runtime/inspector.hpp"
 #include "runtime/redistribute.hpp"
 
@@ -78,6 +79,40 @@ int main(int argc, char** argv) {
     std::vector<double> digests = all_gather(
         ctx, everyone, std::span<const double>(&digest, 1));
     (void)digests;
+    sync_clocks(ctx, everyone);
+
+    // Phase 5: the async leg — a split-phase halo exchange overlapping a
+    // 5-point interior stencil (exchange_halo_begin / finish), then a raw
+    // ring exchange that interleaves nonblocking and blocking sends on one
+    // (src, dst, tag) lane: the irecv pairs with the isend and the
+    // blocking recv with the blocking send, in FIFO order.  This is what
+    // populates the HB log with ipost/icomp windows and the trace with
+    // async-matched records for the offline verifiers.
+    D2 r(ctx, grid, {kN, kN}, dists);
+    auto stencil = [&](int i, int j) {
+      r(i, j) = 4.0 * u.at_halo({i, j}) - u.at_halo({i - 1, j}) -
+                u.at_halo({i + 1, j}) - u.at_halo({i, j - 1}) -
+                u.at_halo({i, j + 1});
+    };
+    auto ex = u.exchange_halo_begin();
+    doall2_ring(u, Range{0, kN - 1}, Range{0, kN - 1}, 1, Ring::kInterior,
+                stencil, 6.0);
+    ex.finish();
+    doall2_ring(u, Range{0, kN - 1}, Range{0, kN - 1}, 1, Ring::kBoundary,
+                stencil, 6.0);
+    sync_clocks(ctx, everyone);
+
+    constexpr int kAsyncTag = 77;  // user band
+    const int next = (ctx.rank() + 1) % kProcs;
+    const int prev = (ctx.rank() + kProcs - 1) % kProcs;
+    double a0 = 0.0, a1 = 0.0;
+    CommHandle h0 = ctx.irecv<double>(prev, kAsyncTag, a0);
+    (void)ctx.isend<double>(next, kAsyncTag, digest);        // pairs with h0
+    ctx.send<double>(next, kAsyncTag, 2.0 * digest);         // same lane
+    ctx.wait(h0);
+    a1 = ctx.recv<double>(prev, kAsyncTag);  // lane FIFO: the 2x payload
+    (void)a0;
+    (void)a1;
     sync_clocks(ctx, everyone);
   });
 

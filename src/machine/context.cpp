@@ -1,6 +1,8 @@
 #include "machine/context.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "machine/hb.hpp"
 #include "machine/topology.hpp"
@@ -104,8 +106,24 @@ void Context::send_bytes(int dst, int tag, std::span<const std::byte> data) {
 }
 
 Message Context::recv_message(int src, int tag) {
+#if defined(KALI_CHECK_INVARIANTS)
+  // A blocking recv matching a lane with a posted-but-incomplete irecv
+  // would steal that operation's message — overtaking it in FIFO order.
+  for (const auto& op : self_->mailbox().pending_ops()) {
+    KALI_INVARIANT(op.tag != tag || (src != kAnySource && op.src != src),
+                   "recv: blocking receive on (src=" + std::to_string(src) +
+                       ", tag=" + std::to_string(tag) +
+                       ") would overtake a pending nonblocking receive on "
+                       "the same lane");
+  }
+#endif
   Message m = self_->mailbox().recv(src, tag, config().recv_timeout_wall,
                                     machine_->deadlock_detector(), rank());
+  finish_receive(m);
+  return m;
+}
+
+double Context::finish_receive(Message& m) {
   // The trace logs the *receiver's* epoch (not the message's stamp), so the
   // offline verifier can flag barrier straddling by comparing the matched
   // send/recv pair's epochs.
@@ -199,7 +217,180 @@ Message Context::recv_message(int src, int tag) {
       hb->write(rank(), HbObj::kLedger, rank());
     }
   }
-  return m;
+  return arrival;
+}
+
+CommHandle Context::irecv_bytes(int src, int tag, std::span<std::byte> out) {
+  // kAnySource would make the operation's match depend on host push order.
+  KALI_CHECK(src >= 0 && src < nprocs(),
+             "irecv: bad source rank (kAnySource is not allowed on "
+             "nonblocking receives)");
+  // Posting is free in the model (like handing a buffer to the NIC); the
+  // receive's whole cost is charged at the completing wait point.
+  const std::uint64_t id = self_->mailbox().post_op(
+      src, tag, out.data(), out.size(), self_->clock());
+  if (HbLog* hb = machine_->hb_log(); hb != nullptr) {
+    hb->post(rank(), id);
+  }
+  return CommHandle(this, id);
+}
+
+std::vector<std::uint64_t> Context::with_lane_predecessors(
+    std::uint64_t id) const {
+  const auto& ops = self_->mailbox().pending_ops();
+  const PendingOp* target = nullptr;
+  for (const auto& op : ops) {
+    if (op.id == id) {
+      target = &op;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return {};  // already complete
+  }
+  std::vector<std::uint64_t> ids;
+  for (const auto& op : ops) {
+    if (op.src == target->src && op.tag == target->tag && op.id <= id) {
+      ids.push_back(op.id);
+    }
+  }
+  return ids;
+}
+
+void Context::complete_ops(std::vector<std::uint64_t> ids) {
+  if (ids.empty()) {
+    return;
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  Mailbox& mb = self_->mailbox();
+  // Group the operations by (src, tag) lane, preserving post order within
+  // each lane (the table is id-ordered).  std::map keeps the lane iteration
+  // order a pure function of the program.
+  std::map<std::pair<int, int>, std::vector<PendingOp>> lanes;
+  for (const auto& op : mb.pending_ops()) {
+    if (std::binary_search(ids.begin(), ids.end(), op.id)) {
+      lanes[{op.src, op.tag}].push_back(op);
+    }
+  }
+  // Phase 1: park until every lane holds enough queued matches.  Each park
+  // is a scheduler yield point publishing its wait-for edge, exactly like
+  // a blocking recv on that lane.
+  for (const auto& [lane, ops] : lanes) {
+    mb.await_matches(lane.first, lane.second, ops.size(),
+                     config().recv_timeout_wall, machine_->deadlock_detector(),
+                     rank());
+  }
+  // Phase 2: pop each lane FIFO (the j-th posted operation takes the j-th
+  // queued match), then apply the receive-side cost algebra over the whole
+  // batch in ascending (send_time, src, seq) of the matched messages — the
+  // edge ledgers' canonical serialization key — so completion order is a
+  // pure function of the program, never of host arrival order.
+  struct Completion {
+    PendingOp op;
+    Message msg;
+  };
+  std::vector<Completion> batch;
+  for (const auto& [lane, ops] : lanes) {
+    for (const auto& op : ops) {
+      auto m = mb.try_pop(lane.first, lane.second);
+      KALI_CHECK(m.has_value(),
+                 "nonblocking completion lost its matched message");
+      batch.push_back({op, std::move(*m)});
+      mb.erase_op(op.id);
+    }
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const Completion& a, const Completion& b) {
+              if (a.msg.send_time != b.msg.send_time) {
+                return a.msg.send_time < b.msg.send_time;
+              }
+              if (a.msg.src != b.msg.src) {
+                return a.msg.src < b.msg.src;
+              }
+              return a.msg.seq < b.msg.seq;
+            });
+  for (auto& c : batch) {
+    KALI_CHECK(c.msg.size_bytes() == c.op.bytes,
+               "irecv size mismatch: posted " + std::to_string(c.op.bytes) +
+                   " bytes, message carries " +
+                   std::to_string(c.msg.size_bytes()));
+    const double before = self_->clock();
+    const double arrival = finish_receive(c.msg);
+    if (c.op.bytes > 0) {
+      std::memcpy(c.op.dest, c.msg.payload.data(), c.op.bytes);
+    }
+    // Overlap ledger: the in-flight window ran from the post to the
+    // modeled arrival; whatever of it this rank's clock had already
+    // covered when the completion ran was spent on other work — wire time
+    // hidden behind local progress instead of sat out in wait_time.
+    auto& cnt = self_->counters();
+    const double window = std::max(0.0, arrival - c.op.post_clock);
+    const double hidden =
+        std::clamp(std::min(before, arrival) - c.op.post_clock, 0.0, window);
+    cnt.overlap_wire_time += window;
+    cnt.overlap_hidden_time += hidden;
+    if (HbLog* hb = machine_->hb_log(); hb != nullptr) {
+      // The completion's memcpy is the machine's write into the posted
+      // buffer; foreign accesses between ipost and icomp are the in-flight
+      // races the analyzer flags.
+      hb->write(rank(), HbObj::kBuf, rank());
+      hb->complete(rank(), c.op.id);
+    }
+  }
+}
+
+void Context::wait(CommHandle& h) {
+  KALI_CHECK(h.ctx_ == nullptr || h.ctx_ == this,
+             "wait: handle belongs to another rank's context");
+  if (h.op_ != 0) {
+    complete_ops(with_lane_predecessors(h.op_));
+    h.op_ = 0;
+  }
+}
+
+bool Context::test(CommHandle& h) {
+  KALI_CHECK(h.ctx_ == nullptr || h.ctx_ == this,
+             "test: handle belongs to another rank's context");
+  if (h.op_ == 0) {
+    return true;
+  }
+  std::vector<std::uint64_t> ids = with_lane_predecessors(h.op_);
+  if (ids.empty()) {  // erased from the table: already completed elsewhere
+    h.op_ = 0;
+    return true;
+  }
+  const PendingOp* target = nullptr;
+  for (const auto& op : self_->mailbox().pending_ops()) {
+    if (op.id == h.op_) {
+      target = &op;
+      break;
+    }
+  }
+  KALI_CHECK(target != nullptr, "test: operation vanished from the table");
+  // Opportunistic: complete only if the whole lane prefix can complete now.
+  if (self_->mailbox().match_count(target->src, target->tag) < ids.size()) {
+    return false;
+  }
+  complete_ops(std::move(ids));
+  h.op_ = 0;
+  return true;
+}
+
+void Context::wait_all(std::span<CommHandle> hs) {
+  std::vector<std::uint64_t> ids;
+  for (CommHandle& h : hs) {
+    KALI_CHECK(h.ctx_ == nullptr || h.ctx_ == this,
+               "wait_all: handle belongs to another rank's context");
+    if (h.op_ != 0) {
+      auto lane = with_lane_predecessors(h.op_);
+      ids.insert(ids.end(), lane.begin(), lane.end());
+    }
+  }
+  complete_ops(std::move(ids));
+  for (CommHandle& h : hs) {
+    h.op_ = 0;
+  }
 }
 
 }  // namespace kali

@@ -50,6 +50,45 @@
 
 namespace kali {
 
+class Context;
+
+/// Completion handle of a nonblocking operation (Context::isend/irecv).
+///
+/// An isend's handle is born complete: the model's send is fire-and-forget
+/// (the payload is copied and deposited at send time), so there is nothing
+/// left to wait for and dropping the handle is legal.  An irecv's handle is
+/// pending until a wait point completes it; dropping a pending handle leaks
+/// the operation, which the KALI_CHECK_INVARIANTS build diagnoses when the
+/// rank's program returns (Machine::run).
+///
+/// Handles are freely copyable: completion is recorded in the mailbox's
+/// operation table, not the handle, and operation ids are never reused, so
+/// every copy agrees — test()/wait() on an already-completed operation are
+/// cheap no-ops.
+class CommHandle {
+ public:
+  CommHandle() = default;  ///< born complete (no pending operation)
+
+  /// True once the operation has completed (never blocks, never completes).
+  [[nodiscard]] bool done() const;
+
+  /// Try to complete without blocking: true iff the operation (and every
+  /// operation posted earlier on its (src, tag) lane — FIFO non-overtaking)
+  /// has a matched message queued, in which case all of them complete now.
+  bool test();
+
+  /// Park until the operation can complete, then complete it (and its lane
+  /// predecessors).  A scheduler yield point, exactly like a blocking recv:
+  /// the wait publishes its wait-for edge to the deadlock detector.
+  void wait();
+
+ private:
+  friend class Context;
+  CommHandle(Context* ctx, std::uint64_t op) : ctx_(ctx), op_(op) {}
+  Context* ctx_ = nullptr;
+  std::uint64_t op_ = 0;  ///< 0 = complete; else pending operation id
+};
+
 class Context {
  public:
   Context(Machine& m, Processor& p) : machine_(&m), self_(&p) {}
@@ -121,9 +160,115 @@ class Context {
     }
   }
 
+  // --- nonblocking messaging -------------------------------------------
+  //
+  // isend is a send that also returns a handle; it pays the identical cost
+  // and moves the identical message, so blocking and nonblocking senders
+  // may interleave freely on one (src, dst, tag) lane without perturbing
+  // ledgers, traces, or FIFO order.  irecv registers a pending operation
+  // (destination buffer + expected size) in the mailbox's operation table
+  // at zero model cost; the receive's full cost — arrival resolution,
+  // wait, recv_overhead — is charged at the wait point that completes it.
+  //
+  // Completion ordering is deterministic by construction: messages match
+  // pending operations per (src, tag) lane in FIFO order, and when one
+  // wait point completes several operations at once it applies their
+  // receive-side cost algebra in ascending (send_time, src, seq) of the
+  // matched messages — the same canonical serialization key the
+  // store-and-forward edge ledgers use — never in host arrival order.
+  // On a single lane that key order coincides with FIFO post order.
+  //
+  // kAnySource is not allowed on irecv: a wildcard's match would depend on
+  // push arrival order, which host scheduling decides.
+
+  /// Nonblocking send.  Identical cost and semantics to send_bytes; the
+  /// returned handle is already complete.
+  CommHandle isend_bytes(int dst, int tag, std::span<const std::byte> data) {
+    send_bytes(dst, tag, data);
+    return CommHandle{};
+  }
+
+  template <class T>
+  CommHandle isend(int dst, int tag, const T& value) {
+    send(dst, tag, value);
+    return CommHandle{};
+  }
+
+  template <class T>
+  CommHandle isend_span(int dst, int tag, std::span<const T> values) {
+    send_span(dst, tag, values);
+    return CommHandle{};
+  }
+
+  /// Post a nonblocking receive into `out` (caller-owned; must stay alive
+  /// and untouched until the handle completes).  The matching message's
+  /// payload must be exactly out.size() bytes.
+  CommHandle irecv_bytes(int src, int tag, std::span<std::byte> out);
+
+  template <class T>
+  CommHandle irecv_into(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(
+        src, tag,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(out.data()),
+                             out.size_bytes()));
+  }
+
+  template <class T>
+  CommHandle irecv(int src, int tag, T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(
+        src, tag,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(&out), sizeof(T)));
+  }
+
+  /// Complete `h` (see CommHandle::wait).  No-op on a completed handle.
+  void wait(CommHandle& h);
+
+  /// Try to complete `h` without blocking (see CommHandle::test).
+  bool test(CommHandle& h);
+
+  /// Complete every handle in `hs`: parks until all of them (plus lane
+  /// predecessors) have matched messages queued, then completes the whole
+  /// batch in ascending (send_time, src, seq) order.
+  void wait_all(std::span<CommHandle> hs);
+
  private:
+  /// Everything a receive does after its message leaves the queue: trace,
+  /// epoch invariant, arrival resolution under the configured contention
+  /// tier, clock/wait/overhead accounting, counters, HB writes.  Returns
+  /// the modeled arrival time (for the overlap ledger).
+  double finish_receive(Message& m);
+
+  /// Complete the pending operations named by `ids` (they must all be
+  /// pending): park until satisfiable, then pop + apply in key order.
+  void complete_ops(std::vector<std::uint64_t> ids);
+
+  /// `id`'s operation plus every earlier pending operation on its lane.
+  [[nodiscard]] std::vector<std::uint64_t> with_lane_predecessors(
+      std::uint64_t id) const;
+
   Machine* machine_;
   Processor* self_;
 };
+
+inline bool CommHandle::done() const {
+  return op_ == 0 || !ctx_->proc().mailbox().op_pending(op_);
+}
+
+inline bool CommHandle::test() {
+  if (op_ == 0 || ctx_->test(*this)) {
+    op_ = 0;
+    return true;
+  }
+  return false;
+}
+
+inline void CommHandle::wait() {
+  if (op_ != 0) {
+    ctx_->wait(*this);
+    op_ = 0;
+  }
+}
 
 }  // namespace kali

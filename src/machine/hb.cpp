@@ -22,6 +22,8 @@ const char* obj_name(HbObj o) {
       return "epoch";
     case HbObj::kMbox:
       return "mbox";
+    case HbObj::kBuf:
+      return "buf";
   }
   return "?";
 }
@@ -60,6 +62,14 @@ void HbLog::wake(int actor, int target, std::uint64_t park_seq) {
 
 void HbLog::woken(int actor, std::uint64_t park_seq) {
   push(actor, {Kind::kWoken, HbObj::kClock, 0, park_seq});
+}
+
+void HbLog::post(int actor, std::uint64_t opid) {
+  push(actor, {Kind::kIPost, HbObj::kClock, 0, opid});
+}
+
+void HbLog::complete(int actor, std::uint64_t opid) {
+  push(actor, {Kind::kIComp, HbObj::kClock, 0, opid});
 }
 
 void HbLog::quiesce_enter(int actor, std::uint64_t gen) {
@@ -132,6 +142,12 @@ void HbLog::write_log(std::ostream& os) const {
         case Kind::kWrite:
           os << "w " << actor << ' ' << aseq << ' ' << obj_name(e.obj)
              << ':' << e.peer;
+          break;
+        case Kind::kIPost:
+          os << "ipost " << actor << ' ' << aseq << ' ' << e.n;
+          break;
+        case Kind::kIComp:
+          os << "icomp " << actor << ' ' << aseq << ' ' << e.n;
           break;
       }
       os << "\n";

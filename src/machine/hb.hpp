@@ -46,6 +46,7 @@ enum class HbObj : unsigned char {
   kCtr,     ///< ProcCounters
   kEpoch,   ///< sync_clocks barrier epoch
   kMbox,    ///< mailbox queue contents
+  kBuf,     ///< a nonblocking receive's destination buffer (in-flight window)
 };
 
 class HbLog {
@@ -68,6 +69,19 @@ class HbLog {
   void park(int actor, std::uint64_t park_seq);
   void wake(int actor, int target, std::uint64_t park_seq);
   void woken(int actor, std::uint64_t park_seq);
+
+  /// Nonblocking-operation window: `post(actor, opid)` marks the posting of
+  /// an irecv (the destination buffer is handed to the machine) and
+  /// `complete(actor, opid)` its completion at a wait point (the buffer is
+  /// filled and returned).  `opid` is the rank-local operation id, so
+  /// (actor, opid) pairs each post with exactly one completion — the
+  /// analyzer flags an unpaired or doubled id as a dangling edge (a dropped
+  /// handle is visible in the log).  Both events live on the posting
+  /// actor's shard; compute accesses to the buffer from any other actor
+  /// between the pair are exactly the unordered in-flight accesses the
+  /// analyzer exists to catch (HbObj::kBuf).
+  void post(int actor, std::uint64_t opid);
+  void complete(int actor, std::uint64_t opid);
 
   /// Quiesce rendezvous, generation `gen`: every enter(gen) happens-before
   /// run(gen); release(gen) happens-before every leave(gen).
@@ -101,6 +115,8 @@ class HbLog {
     kQLeave,
     kRead,
     kWrite,
+    kIPost,
+    kIComp,
   };
 
   struct Event {

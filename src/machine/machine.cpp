@@ -82,6 +82,23 @@ void Machine::run(const std::function<void(Context&)>& program) {
       Context ctx(*this, *procs_[static_cast<std::size_t>(r)]);
       try {
         program(ctx);
+#if defined(KALI_CHECK_INVARIANTS)
+        // Dropped-handle leak check: a nonblocking receive posted and never
+        // completed when the rank program returns means a handle went out
+        // of scope without wait() — its matched message (if any) would rot
+        // in the queue and its buffer was never filled.
+        {
+          const std::string leaked =
+              procs_[static_cast<std::size_t>(r)]->mailbox().describe_pending_ops(r);
+          if (!leaked.empty()) {
+            throw Error(
+                "nonblocking operation never completed: the rank program "
+                "returned with pending handles (every irecv handle must be "
+                "waited):\n" +
+                leaked);
+          }
+        }
+#endif
         // Retire this rank in the wait-for graph: peers still waiting on
         // it may have just become unsatisfiable, which mark_done detects
         // (the throw lands in the catch below like any program error).
@@ -115,6 +132,9 @@ void Machine::run(const std::function<void(Context&)>& program) {
   active_sched_ = nullptr;
   for (auto& q : procs_) {
     q->mailbox().attach_scheduler(nullptr, -1);
+    // A failed or non-invariant run may leave incomplete nonblocking
+    // operations behind; drop them so they cannot poison a later run.
+    q->mailbox().clear_pending_ops();
   }
   if (sched_error) {
     std::rethrow_exception(sched_error);

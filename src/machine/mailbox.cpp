@@ -74,6 +74,39 @@ bool Mailbox::has_match_locked(int src, int tag) const {
   return false;
 }
 
+std::size_t Mailbox::match_count_locked(int src, int tag) const {
+  std::size_t n = 0;
+  for (const auto& m : queue_) {
+    if ((src == kAnySource || m.src == src) && m.tag == tag) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Mailbox::match_count(int src, int tag) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return match_count_locked(src, tag);
+}
+
+std::optional<Message> Mailbox::try_pop(int src, int tag) {
+  std::optional<Message> m;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (aborted_) {
+      throw Error("recv aborted: a peer processor failed");
+    }
+    m = try_pop_locked(src, tag);
+  }
+  if (m.has_value() && sched_ != nullptr) {
+    if (HbLog* hb = sched_->hb_log(); hb != nullptr) {
+      hb->match(owner_rank_, m->src, m->seq);
+      hb->write(owner_rank_, HbObj::kMbox, owner_rank_);
+    }
+  }
+  return m;
+}
+
 void Mailbox::attach_scheduler(FiberScheduler* sched, int owner_rank) {
   std::lock_guard<std::mutex> lk(mu_);
   sched_ = sched;
@@ -149,6 +182,151 @@ Message Mailbox::recv_fiber(int src, int tag, double timeout_wall_seconds,
       }
     }
   }
+}
+
+void Mailbox::await_matches_fiber(int src, int tag, std::size_t n,
+                                  double timeout_wall_seconds,
+                                  DeadlockDetector* detector, int self_rank) {
+  FiberScheduler* sched = sched_;
+  for (;;) {
+    if (sched->aborted()) {
+      throw Error("recv aborted: the scheduler is shutting down");
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (match_count_locked(src, tag) >= n) {
+        return;
+      }
+    }
+    // Publish the wait edge exactly like a blocking recv: waiting for the
+    // k-th message of a lane is a genuine wait-for-graph edge on (src, tag).
+    if (detector != nullptr) {
+      detector->enter_wait(self_rank, src, tag);
+    }
+    sched->prepare_park(timeout_wall_seconds);
+    bool parked = true;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (aborted_ || match_count_locked(src, tag) >= n) {
+        parked = false;
+      } else {
+        // Each push consumes the publication and wakes the owner once; the
+        // loop re-parks until the lane is deep enough.
+        waiting_src_ = src;
+        waiting_tag_ = tag;
+        waiting_active_ = true;
+      }
+    }
+    bool timed_out = false;
+    if (parked) {
+      timed_out = sched->commit_park();
+    } else {
+      sched->cancel_park();
+    }
+    if (detector != nullptr) {
+      detector->leave_wait(self_rank);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      waiting_active_ = false;
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (timed_out && match_count_locked(src, tag) < n) {
+        throw_recv_timeout(src, tag, detector);
+      }
+    }
+  }
+}
+
+void Mailbox::await_matches(int src, int tag, std::size_t n,
+                            double timeout_wall_seconds,
+                            DeadlockDetector* detector, int self_rank) {
+  if (n == 0) {
+    return;
+  }
+  if (sched_ != nullptr && FiberScheduler::current() == sched_) {
+    await_matches_fiber(src, tag, n, timeout_wall_seconds, detector,
+                        self_rank);
+    return;
+  }
+  // Standalone condition-variable path, mirroring recv()'s fallback.
+  // kali-lint: allow(wall-clock) — wall-clock timeout is the guard's point.
+  using WallClock = std::chrono::steady_clock;
+  const auto deadline = WallClock::now() +
+                        std::chrono::duration_cast<WallClock::duration>(
+                            std::chrono::duration<double>(timeout_wall_seconds));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (aborted_) {
+        throw Error("recv aborted: a peer processor failed");
+      }
+      if (match_count_locked(src, tag) >= n) {
+        return;
+      }
+    }
+    if (detector != nullptr) {
+      detector->enter_wait(self_rank, src, tag);
+    }
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!aborted_ && match_count_locked(src, tag) < n) {
+        timed_out =
+            cv_.wait_until(lk, deadline) == std::cv_status::timeout;
+      }
+    }
+    if (detector != nullptr) {
+      detector->leave_wait(self_rank);
+    }
+    if (timed_out) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!aborted_ && match_count_locked(src, tag) < n) {
+        throw_recv_timeout(src, tag, detector);
+      }
+    }
+  }
+}
+
+std::uint64_t Mailbox::post_op(int src, int tag, std::byte* dest,
+                               std::size_t bytes, double post_clock) {
+  const std::uint64_t id = next_op_id_++;
+  pending_ops_.push_back({id, src, tag, dest, bytes, post_clock});
+  return id;
+}
+
+void Mailbox::erase_op(std::uint64_t id) {
+  for (auto it = pending_ops_.begin(); it != pending_ops_.end(); ++it) {
+    if (it->id == id) {
+      pending_ops_.erase(it);
+      return;
+    }
+  }
+  KALI_FAIL("erase_op: unknown nonblocking operation id");
+}
+
+bool Mailbox::op_pending(std::uint64_t id) const {
+  for (const auto& op : pending_ops_) {
+    if (op.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Mailbox::describe_pending_ops(int owner) const {
+  std::string out;
+  for (const auto& op : pending_ops_) {
+    out += "  rank " + std::to_string(owner) + ": irecv(src=" +
+           std::to_string(op.src) + ", tag=" + std::to_string(op.tag) + ", " +
+           std::to_string(op.bytes) +
+           " bytes) posted and never completed (dropped handle?)\n";
+  }
+  return out;
 }
 
 Message Mailbox::recv(int src, int tag, double timeout_wall_seconds,

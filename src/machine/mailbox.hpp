@@ -16,10 +16,12 @@
 // Standalone-use fallback only; machine runs block via the fiber scheduler.
 // kali-lint: allow(raw-thread)
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "machine/message.hpp"
@@ -40,6 +42,20 @@ struct PendingMessage {
   std::uint32_t epoch = 0;
 };
 
+/// One posted-but-incomplete nonblocking receive (Context::irecv).  The
+/// operation table lives in the mailbox because completion consumes its
+/// queue, but unlike the queue it is touched only by the owner rank's fiber
+/// — posting, testing, waiting and completing all run on that fiber — so it
+/// needs no lock (see Mailbox's fiber-integration comment).
+struct PendingOp {
+  std::uint64_t id = 0;        ///< rank-local operation id (1-based, never reused)
+  int src = -1;                ///< matched source rank (kAnySource not allowed)
+  int tag = 0;
+  std::byte* dest = nullptr;   ///< caller-owned destination buffer
+  std::size_t bytes = 0;       ///< expected payload size
+  double post_clock = 0.0;     ///< owner's simulated clock at post time
+};
+
 class Mailbox {
  public:
   /// Deposit a message (called from the sender's execution context).
@@ -56,6 +72,52 @@ class Mailbox {
 
   /// Non-blocking probe: true if a matching message is queued.
   [[nodiscard]] bool probe(int src, int tag) const;
+
+  /// Pop the first queued match without blocking (nullopt if none).
+  /// Records the HB match edge exactly like a blocking recv's pop — this is
+  /// the consuming half of a nonblocking completion (Context::wait).
+  std::optional<Message> try_pop(int src, int tag);
+
+  /// Number of queued messages matching (src, tag).
+  [[nodiscard]] std::size_t match_count(int src, int tag) const;
+
+  /// Park the calling fiber until at least `n` messages matching (src, tag)
+  /// are queued — the wait point of nonblocking completion.  Same
+  /// park/wake/detector/timeout protocol as a blocking recv, but with a
+  /// queue-depth predicate instead of a pop: nothing is consumed.  Falls
+  /// back to the condition-variable path when no fiber scheduler is
+  /// attached (standalone use).  Throws like recv().
+  void await_matches(int src, int tag, std::size_t n,
+                     double timeout_wall_seconds,
+                     DeadlockDetector* detector = nullptr, int self_rank = -1);
+
+  // --- nonblocking-operation table (owner fiber only; no lock) ---
+
+  /// Register a posted irecv; returns its rank-local operation id.
+  std::uint64_t post_op(int src, int tag, std::byte* dest, std::size_t bytes,
+                        double post_clock);
+
+  /// The posted-but-incomplete operations, in post (= id) order.
+  [[nodiscard]] const std::vector<PendingOp>& pending_ops() const {
+    return pending_ops_;
+  }
+
+  /// Remove a completed operation from the table.
+  void erase_op(std::uint64_t id);
+
+  /// True while `id` names a posted-but-incomplete operation.  Completed
+  /// (erased) ids never come back — ids are monotone — so "not found"
+  /// means "already complete".
+  [[nodiscard]] bool op_pending(std::uint64_t id) const;
+
+  /// Diagnostic dump of the incomplete operations ("rank R: irecv(src=S,
+  /// tag=T, N bytes) posted and never completed" lines), for the
+  /// dropped-handle leak check at end of program (Machine::run).
+  [[nodiscard]] std::string describe_pending_ops(int owner) const;
+
+  /// Drop all pending operations (Machine::run teardown: a failed run must
+  /// not poison the table for the next one).
+  void clear_pending_ops() { pending_ops_.clear(); }
 
   /// Copy of the queued messages' metadata (src, tag, size, epoch), in
   /// queue order.  Diagnostics and leak accounting only.
@@ -94,8 +156,12 @@ class Mailbox {
  private:
   Message recv_fiber(int src, int tag, double timeout_wall_seconds,
                      DeadlockDetector* detector, int self_rank);
+  void await_matches_fiber(int src, int tag, std::size_t n,
+                           double timeout_wall_seconds,
+                           DeadlockDetector* detector, int self_rank);
   std::optional<Message> try_pop_locked(int src, int tag);
   [[nodiscard]] bool has_match_locked(int src, int tag) const;
+  [[nodiscard]] std::size_t match_count_locked(int src, int tag) const;
 
   mutable std::mutex mu_;
   // kali-lint: allow(raw-thread) — standalone (schedulerless) recv path only
@@ -112,6 +178,11 @@ class Mailbox {
   bool waiting_active_ = false;
   int waiting_src_ = 0;
   int waiting_tag_ = 0;
+
+  // Nonblocking-operation table (owner fiber only — never locked; see
+  // PendingOp).  Ids are monotone so table order is post order.
+  std::vector<PendingOp> pending_ops_;
+  std::uint64_t next_op_id_ = 1;
 };
 
 }  // namespace kali

@@ -26,6 +26,18 @@ struct ProcCounters {
   double edge_wait_time = 0.0;       ///< time queued on busy topology edges
   std::uint64_t contended_msgs = 0;  ///< busy-port/edge encounters
 
+  /// Communication/computation overlap ledger, filled only by nonblocking
+  /// completions (Context::irecv + wait).  For each completed operation the
+  /// in-flight window is the modeled time from its post to its message's
+  /// arrival; `overlap_wire_time` accumulates the windows and
+  /// `overlap_hidden_time` the portion of each window this rank spent doing
+  /// other work (compute, sends, earlier completions) instead of idling —
+  /// i.e. wire time actually hidden behind local progress.  Blocking
+  /// receives leave both at zero, so overlap_hidden / overlap_wire is the
+  /// overlap_ratio the scaling bench records (BENCH_scaling.json).
+  double overlap_hidden_time = 0.0;  ///< in-flight wire time hidden by work
+  double overlap_wire_time = 0.0;    ///< total post-to-arrival window time
+
   /// Matched send/recv ledgers, by tag: how many messages this rank sent on
   /// each tag, and how many it received.  Summed machine-wide
   /// (MachineStats::sent_msgs / recv_msgs / unmatched_by_tag) the two must
@@ -61,6 +73,8 @@ struct ProcCounters {
     link_wait_time += o.link_wait_time;
     edge_wait_time += o.edge_wait_time;
     contended_msgs += o.contended_msgs;
+    overlap_hidden_time += o.overlap_hidden_time;
+    overlap_wire_time += o.overlap_wire_time;
     for (const auto& [tag, n] : o.sent_by_tag) {
       sent_by_tag[tag] += n;
     }
@@ -303,6 +317,7 @@ class Processor {
     counters_ = ProcCounters{};
     barrier_epoch_ = 0;
     mailbox_.reset_peak();
+    mailbox_.clear_pending_ops();
   }
 
  private:

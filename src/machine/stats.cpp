@@ -123,6 +123,30 @@ std::uint64_t MachineStats::contended_msgs() const {
   return n;
 }
 
+double MachineStats::overlap_wire_time() const {
+  double t = 0.0;
+  for (const auto& c : per_proc) {
+    t += c.overlap_wire_time;
+  }
+  return t;
+}
+
+double MachineStats::overlap_hidden_time() const {
+  double t = 0.0;
+  for (const auto& c : per_proc) {
+    t += c.overlap_hidden_time;
+  }
+  return t;
+}
+
+double MachineStats::overlap_ratio() const {
+  const double wire = overlap_wire_time();
+  if (wire <= 0.0) {
+    return 0.0;
+  }
+  return overlap_hidden_time() / wire;
+}
+
 double MachineStats::compute_utilization() const {
   const double makespan = max_clock();
   if (makespan <= 0.0 || per_proc.empty()) {

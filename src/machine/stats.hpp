@@ -59,6 +59,20 @@ struct MachineStats {
   /// Busy-port/edge encounters across all messages.
   [[nodiscard]] std::uint64_t contended_msgs() const;
 
+  /// Total post-to-arrival window time of nonblocking receives, summed over
+  /// processors; zero for purely blocking runs (see
+  /// ProcCounters::overlap_wire_time).
+  [[nodiscard]] double overlap_wire_time() const;
+
+  /// The portion of overlap_wire_time the receivers spent on other work
+  /// instead of idling — wire time actually hidden behind local progress.
+  [[nodiscard]] double overlap_hidden_time() const;
+
+  /// overlap_hidden_time / overlap_wire_time: the fraction of in-flight
+  /// wire time hidden behind compute (0 when no nonblocking receives ran).
+  /// The per-case column BENCH_scaling.json records.
+  [[nodiscard]] double overlap_ratio() const;
+
   /// Heaviest store-and-forward load on any single directed topology edge:
   /// the message count of the busiest edge, merged across processors.
   /// Zero unless the store-and-forward tier ran.

@@ -414,6 +414,105 @@ class DistArray {
     }
   }
 
+  /// In-flight split-phase halo exchange (Overlap::kOn): returned by
+  /// exchange_halo_begin() with all receives posted and all sends fired;
+  /// finish() completes the receives and unpacks the ghost margins.
+  /// Between the two calls the owner may freely compute on anything except
+  /// the ghost cells (the interior of the owned slab in particular) —
+  /// that work runs while the wire drains, which is the entire point.
+  /// finish() must be called before the ghosts are read and before the
+  /// rank program returns; a dropped exchange is a dropped handle, which
+  /// the KALI_CHECK_INVARIANTS build diagnoses at end of program.
+  class HaloExchange {
+   public:
+    HaloExchange() = default;
+
+    /// Complete the posted receives (canonical key order, one wait point)
+    /// and unpack them into the ghost margins; charges the unpack compute.
+    /// Idempotent: a second call is a no-op.
+    void finish() {
+      if (arr_ != nullptr) {
+        DistArray* a = arr_;
+        arr_ = nullptr;
+        a->finish_halo(*this);
+      }
+    }
+
+    /// True while receives are still in flight (finish() not yet called).
+    [[nodiscard]] bool active() const { return arr_ != nullptr; }
+
+   private:
+    friend class DistArray;
+    struct Pend {
+      int dim = 0;
+      int side = 0;  ///< 0: low ghost face, 1: high ghost face
+      std::vector<T> buf;
+      CommHandle h;
+    };
+    DistArray* arr_ = nullptr;
+    std::vector<Pend> pend_;
+  };
+
+  /// Post/compute/wait form of the face-mode halo exchange: posts a
+  /// nonblocking receive for every incoming ghost face, then fires the same
+  /// sends as exchange_halo (same tags, same payloads, same order — the
+  /// message ledger is bit-identical to the blocking oracle) and returns
+  /// without waiting.  Corner mode has no split-phase form (its ghost
+  /// regions feed diagonal dependencies that rarely leave useful interior
+  /// work); use exchange_halo(HaloCorners::kYes) there.
+  [[nodiscard]] HaloExchange exchange_halo_begin() {
+    HaloExchange ex;
+    if (!member_) {
+      return ex;
+    }
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (halo_[ud] > 0) {
+        KALI_CHECK(lcount_[ud] >= halo_[ud],
+                   "slab thinner than halo; increase extent or reduce procs");
+      }
+    }
+    ex.arr_ = this;
+    // Post every receive first — the in-flight window opens before the
+    // first send, so all wire time is eligible for hiding.
+    for (int d = 0; d < R; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (halo_[ud] == 0) {
+        continue;
+      }
+      const int tag_lo = kTagHaloBase + 4 * d;
+      const int tag_hi = kTagHaloBase + 4 * d + 1;
+      const int left = neighbor_rank(d, -1);
+      const int right = neighbor_rank(d, +1);
+      std::size_t volume = static_cast<std::size_t>(halo_[ud]);
+      for (int o = 0; o < R; ++o) {
+        if (o != d) {
+          volume *= static_cast<std::size_t>(lcount_[static_cast<std::size_t>(o)]);
+        }
+      }
+      if (left >= 0) {
+        auto& p = ex.pend_.emplace_back();
+        p.dim = d;
+        p.side = 0;
+        p.buf.resize(volume);
+        p.h = ctx_->irecv_into<T>(left, tag_lo, p.buf);
+      }
+      if (right >= 0) {
+        auto& p = ex.pend_.emplace_back();
+        p.dim = d;
+        p.side = 1;
+        p.buf.resize(volume);
+        p.h = ctx_->irecv_into<T>(right, tag_hi, p.buf);
+      }
+    }
+    for (int d = 0; d < R; ++d) {
+      if (halo_[static_cast<std::size_t>(d)] > 0) {
+        exchange_dim_sends(d);
+      }
+    }
+    return ex;
+  }
+
   // ---- slicing ---------------------------------------------------------------
 
   /// Fix dimension `dim` to global index g: u(*, *, k) etc.
@@ -737,6 +836,33 @@ class DistArray {
       packed += static_cast<double>(k);
     }
     ctx_->compute(packed);  // unpack cost
+  }
+
+  /// Second half of the split-phase halo: complete every posted receive at
+  /// one wait point (the completion batch applies its cost algebra in
+  /// canonical (send_time, src, seq) order; see Context::wait_all), then
+  /// unpack the staged faces into the ghost margins and charge the same
+  /// per-element unpack cost the blocking path charges.
+  void finish_halo(HaloExchange& ex) {
+    std::vector<CommHandle> hs;
+    hs.reserve(ex.pend_.size());
+    for (auto& p : ex.pend_) {
+      hs.push_back(p.h);
+    }
+    ctx_->wait_all(hs);
+    double packed = 0;
+    for (auto& p : ex.pend_) {
+      std::size_t k = 0;
+      visit_face(p.dim, p.side, /*owned_side=*/false,
+                 [&](const GIndex<R>& rel) {
+                   (*store_)[static_cast<std::size_t>(rel_flat(rel))] =
+                       p.buf[k++];
+                 });
+      KALI_CHECK(k == p.buf.size(), "halo size mismatch (split-phase)");
+      packed += static_cast<double>(k);
+    }
+    ex.pend_.clear();
+    ctx_->compute(packed);  // unpack cost, same rate as the blocking path
   }
 
   /// The HaloCorners::kYes implementation: one scheduled exchange over the

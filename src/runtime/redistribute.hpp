@@ -54,6 +54,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -63,6 +65,40 @@
 #include "machine/schedule.hpp"
 
 namespace kali {
+
+/// Handle of an in-flight split-phase exchange returned by the _begin forms
+/// (redistribute_begin, copy_strided_dim_begin, copy_strided_dim_halo_begin):
+/// every send is on the wire, every receive is posted nonblocking, and the
+/// pack compute plus the self-overlap local copy have already been charged
+/// inside the wire window.  Run whatever local work should hide the wire,
+/// then finish() — one wait point that completes the receives in canonical
+/// (send_time, src, seq) order and unpacks (charging the same unpack compute
+/// the blocking path charges).  The source array, destination array, and
+/// Context must outlive the handle.  Dropping an active handle leaks the
+/// posted operations, which the KALI_CHECK_INVARIANTS build diagnoses when
+/// the rank program returns.
+class PendingExchange {
+ public:
+  PendingExchange() = default;
+
+  /// Internal: built by the _begin functions with their completion closure.
+  explicit PendingExchange(std::function<void()> fin) : fin_(std::move(fin)) {}
+
+  /// Complete the posted receives and unpack.  Idempotent.
+  void finish() {
+    if (fin_) {
+      std::function<void()> f = std::move(fin_);
+      fin_ = nullptr;
+      f();
+    }
+  }
+
+  /// True while receives are still in flight (finish() not yet called).
+  [[nodiscard]] bool active() const { return static_cast<bool>(fin_); }
+
+ private:
+  std::function<void()> fin_;
+};
 
 namespace detail {
 
@@ -225,16 +261,34 @@ void for_each_intersecting_peer(const DistArray<T, R>& A, const Box<R>& within,
 
 }  // namespace detail
 
+template <class T, int R>
+[[nodiscard]] PendingExchange redistribute_begin(
+    Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst,
+    IssueOrder order = IssueOrder::kRoundSchedule);
+
 /// Copy src's contents into dst (same global extents, any distributions /
 /// views — the views may even be disjoint rank sets).  Collective over the
 /// union of both views' members.  Remote messages are issued in
 /// round-schedule order by default; kPeerOrder keeps the raw enumeration
 /// order (the naive baseline under link contention).
+///
+/// Overlap::kOn routes box-eligible layouts through the split-phase form
+/// (redistribute_begin + finish back to back): same messages, tags,
+/// payloads, and results, but the pack compute and the self-overlap copy
+/// land inside the wire window, so their time is hidden.  Callers with
+/// real work to hide call redistribute_begin()/finish() around it instead.
+/// Layouts with a cyclic dim have no split-phase form and stay blocking.
 template <class T, int R>
 void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst,
-                  IssueOrder order = IssueOrder::kRoundSchedule) {
+                  IssueOrder order = IssueOrder::kRoundSchedule,
+                  Overlap overlap = Overlap::kOff) {
   for (int d = 0; d < R; ++d) {
     KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
+  }
+  if (overlap == Overlap::kOn && detail::box_eligible(src) &&
+      detail::box_eligible(dst)) {
+    redistribute_begin(ctx, src, dst, order).finish();
+    return;
   }
   const bool in_src = src.participating();
   const bool in_dst = dst.participating();
@@ -248,11 +302,11 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
     // ---- box-intersection fast path: contiguous slab exchange -----------
     if (in_src && in_dst) {
       // Self-overlap stays off the network: direct local copy.
-      const detail::Box<R> overlap =
+      const detail::Box<R> shared =
           detail::intersect(detail::owned_box(src), detail::owned_box(dst));
-      if (!overlap.empty()) {
-        detail::for_each_in_box(overlap, [&](GIndex<R> g) { dst.at(g) = src.at(g); });
-        ctx.compute(static_cast<double>(overlap.volume()));
+      if (!shared.empty()) {
+        detail::for_each_in_box(shared, [&](GIndex<R> g) { dst.at(g) = src.at(g); });
+        ctx.compute(static_cast<double>(shared.volume()));
       }
     }
     std::vector<std::pair<int, detail::Box<R>>> out;
@@ -367,6 +421,114 @@ void redistribute(Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst
   detail::issue_exchange(
       members, ctx.rank(), order, out, in, send_one, recv_one,
       [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
+}
+
+/// Split-phase redistribute, the Overlap::kOn machinery: posts a
+/// nonblocking receive for every incoming slab (round order, zero model
+/// cost), fires the identical sends the blocking path fires in the same
+/// round order, charges the pack compute, and performs the self-overlap
+/// local copy inside the wire window — then returns with the receives in
+/// flight.  finish() completes them at one wait point and unpacks.  Box
+/// layouts only (block/star on every dim of both arrays); see
+/// redistribute() for the blocking oracle this is proven against.
+template <class T, int R>
+[[nodiscard]] PendingExchange redistribute_begin(Context& ctx,
+                                                 const DistArray<T, R>& src,
+                                                 DistArray<T, R>& dst,
+                                                 IssueOrder order) {
+  for (int d = 0; d < R; ++d) {
+    KALI_CHECK(src.extent(d) == dst.extent(d), "redistribute: extent mismatch");
+  }
+  KALI_CHECK(detail::box_eligible(src) && detail::box_eligible(dst),
+             "redistribute_begin: requires block/star layouts");
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (!in_src && !in_dst) {
+    return {};
+  }
+  const std::vector<int> members =
+      detail::union_members(src.view().ranks(), dst.view().ranks());
+
+  std::vector<std::pair<int, detail::Box<R>>> out;
+  std::vector<std::pair<int, detail::Box<R>>> in;
+  if (in_src) {
+    const detail::Box<R> mine = detail::owned_box(src);
+    if (!mine.empty()) {
+      detail::for_each_intersecting_peer(
+          dst, mine, [&](int rank, const detail::Box<R>& b) {
+            if (rank != ctx.rank()) {
+              out.emplace_back(rank, b);
+            }
+          });
+    }
+  }
+  if (in_dst) {
+    const detail::Box<R> mine = detail::owned_box(dst);
+    if (!mine.empty()) {
+      detail::for_each_intersecting_peer(
+          src, mine, [&](int rank, const detail::Box<R>& b) {
+            if (rank != ctx.rank()) {
+              in.emplace_back(rank, b);
+            }
+          });
+    }
+  }
+
+  // Post every receive before the first send: the whole wire window is
+  // eligible for hiding.  shared_ptr storage because the completion
+  // closure must be copyable (std::function) and owns the staging.
+  detail::round_sort(in, members, ctx.rank(), order);
+  auto stage = std::make_shared<std::vector<std::vector<T>>>(in.size());
+  auto hs = std::make_shared<std::vector<CommHandle>>();
+  hs->reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    (*stage)[i].resize(static_cast<std::size_t>(in[i].second.volume()));
+    hs->push_back(ctx.irecv_into<T>(in[i].first, kTagRedistData,
+                                    std::span<T>((*stage)[i])));
+  }
+
+  detail::round_sort(out, members, ctx.rank(), order);
+  std::vector<T> buf;
+  double packed = 0;
+  for (auto& [rank, b] : out) {
+    buf.clear();
+    buf.reserve(static_cast<std::size_t>(b.volume()));
+    detail::for_each_in_box(b, [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+    // kali-lint: allow(raw-exchange) — split-phase form: receives are already
+    // posted as irecvs above, so there is no recv_one closure to pair with.
+    ctx.send_span<T>(rank, kTagRedistData, std::span<const T>(buf));
+    packed += static_cast<double>(buf.size());
+  }
+  ctx.compute(packed);
+
+  // Self-overlap local copy, charged inside the wire window (the blocking
+  // path charges the identical element count; only its clock slot moves).
+  if (in_src && in_dst) {
+    const detail::Box<R> shared =
+        detail::intersect(detail::owned_box(src), detail::owned_box(dst));
+    if (!shared.empty()) {
+      detail::for_each_in_box(shared,
+                              [&](GIndex<R> g) { dst.at(g) = src.at(g); });
+      ctx.compute(static_cast<double>(shared.volume()));
+    }
+  }
+
+  auto slabs = std::make_shared<std::vector<std::pair<int, detail::Box<R>>>>(
+      std::move(in));
+  return PendingExchange([&ctx, &dst, stage, hs, slabs] {
+    ctx.wait_all(std::span<CommHandle>(*hs));
+    double unpacked = 0;
+    for (std::size_t i = 0; i < slabs->size(); ++i) {
+      const detail::Box<R>& b = (*slabs)[i].second;
+      const std::vector<T>& vals = (*stage)[i];
+      KALI_CHECK(vals.size() == static_cast<std::size_t>(b.volume()),
+                 "redistribute: slab size mismatch");
+      std::size_t k = 0;
+      detail::for_each_in_box(b, [&](GIndex<R> g) { dst.at(g) = vals[k++]; });
+      unpacked += static_cast<double>(k);
+    }
+    ctx.compute(unpacked);
+  });
 }
 
 /// The original "runtime resolution" implementation: every source member

@@ -213,7 +213,192 @@ void check_strided_args(const DistArray<T, R>& src, const DistArray<T, R>& dst,
              "copy_strided_dim: negative offset");
 }
 
+/// Shared machinery of copy_strided_dim_begin / copy_strided_dim_halo_begin
+/// (the Overlap::kOn split-phase forms): post every receive nonblocking in
+/// round order, fire the identical sends the blocking path fires in the
+/// same round order, charge the pack compute, copy the self-overlap inside
+/// the wire window, and hand back a PendingExchange whose finish() waits
+/// and unpacks.  `fuse_halo` selects the halo-expanded receive boxes and
+/// frame() writes of the fused variant.
+template <class T, int R>
+[[nodiscard]] PendingExchange strided_copy_begin(
+    Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst, int dim,
+    int s_stride, int s_off, int d_stride, int d_off, int count,
+    IssueOrder order, bool fuse_halo) {
+  const auto ud = static_cast<std::size_t>(dim);
+  check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off, count);
+  KALI_CHECK(box_eligible(src) && box_eligible(dst),
+             "copy_strided_dim_begin: requires block/star layouts");
+  if (fuse_halo) {
+    for (int d = 0; d < R; ++d) {
+      const int h = dst.halo(d);
+      if (h > 0) {
+        const int np = dst.view().extent(dst.proc_dim(d));
+        for (int c = 0; c < np; ++c) {
+          KALI_CHECK(dst.map(d).count(c) >= h,
+                     "copy_strided_dim_halo: halo wider than a block");
+        }
+      }
+    }
+  }
+  const bool in_src = src.participating();
+  const bool in_dst = dst.participating();
+  if (count == 0 || (!in_src && !in_dst)) {
+    return {};
+  }
+  const std::vector<int> members =
+      union_members(src.view().ranks(), dst.view().ranks());
+
+  struct Slab {
+    Box<R> b;  ///< off-dim overlap (dim slot unused)
+    TRange t;  ///< transfer steps shared with the peer
+  };
+  std::vector<std::pair<int, Slab>> out;
+  std::vector<std::pair<int, Slab>> in;
+  std::vector<Slab> self;  // self-overlap, copied inside the wire window
+  if (in_src) {
+    const Box<R> mine = owned_box(src);
+    const TRange tm =
+        strided_steps(mine.lo[ud], mine.hi[ud], s_off, s_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      strided_peer_walk(dst, mine, dim, tm, d_off, d_stride, fuse_halo,
+                        [&](int rank, const Box<R>& b, TRange t) {
+                          if (rank != ctx.rank()) {
+                            out.emplace_back(rank, Slab{b, t});
+                          }
+                        });
+    }
+  }
+  if (in_dst) {
+    Box<R> mine = owned_box(dst);
+    if (fuse_halo) {
+      // Receive region: owned box expanded by the halo margins, clipped to
+      // the domain (exactly copy_strided_dim_halo's expanded_box).
+      for (int d = 0; d < R; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        mine.lo[sd] = std::max(0, mine.lo[sd] - dst.halo(d));
+        mine.hi[sd] = std::min(dst.extent(d) - 1, mine.hi[sd] + dst.halo(d));
+      }
+    }
+    const TRange tm =
+        strided_steps(mine.lo[ud], mine.hi[ud], d_off, d_stride, count - 1);
+    if (!mine.empty() && !tm.empty()) {
+      strided_peer_walk(src, mine, dim, tm, s_off, s_stride,
+                        /*expand_halo=*/false,
+                        [&](int rank, const Box<R>& b, TRange t) {
+                          if (rank == ctx.rank()) {
+                            self.push_back(Slab{b, t});
+                          } else {
+                            in.emplace_back(rank, Slab{b, t});
+                          }
+                        });
+    }
+  }
+
+  // Post every receive before the first send (round order, zero model
+  // cost): the whole wire window is eligible for hiding.
+  round_sort(in, members, ctx.rank(), order);
+  auto stage = std::make_shared<std::vector<std::vector<T>>>(in.size());
+  auto hs = std::make_shared<std::vector<CommHandle>>();
+  hs->reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    Box<R> e = in[i].second.b;
+    e.lo[ud] = in[i].second.t.lo;
+    e.hi[ud] = in[i].second.t.hi;
+    (*stage)[i].resize(static_cast<std::size_t>(e.volume()));
+    hs->push_back(
+        ctx.irecv_into<T>(in[i].first, kTagRemap, std::span<T>((*stage)[i])));
+  }
+
+  round_sort(out, members, ctx.rank(), order);
+  std::vector<T> buf;
+  double packed = 0;
+  for (auto& [rank, slab] : out) {
+    buf.clear();
+    for_each_strided_in_box(slab.b, slab.t, dim, s_off, s_stride,
+                            [&](GIndex<R> g) { buf.push_back(src.at(g)); });
+    // kali-lint: allow(raw-exchange) — split-phase form: receives are already
+    // posted as irecvs above, so there is no recv_one closure to pair with.
+    ctx.send_span<T>(rank, kTagRemap, std::span<const T>(buf));
+    packed += static_cast<double>(buf.size());
+  }
+  ctx.compute(packed);
+
+  // Self-overlap copies, charged inside the wire window (the blocking path
+  // charges the identical element count with the unpack at the end).
+  double copied = 0;
+  for (const Slab& slab : self) {
+    for_each_strided_in_box(slab.b, slab.t, dim, 0, 1, [&](GIndex<R> g) {
+      GIndex<R> gs = g;
+      GIndex<R> gd = g;
+      gs[ud] = s_off + g[ud] * s_stride;
+      gd[ud] = d_off + g[ud] * d_stride;
+      if (fuse_halo) {
+        dst.frame(gd) = src.at(gs);
+      } else {
+        dst.at(gd) = src.at(gs);
+      }
+      copied += 1.0;
+    });
+  }
+  ctx.compute(copied);
+
+  auto slabs =
+      std::make_shared<std::vector<std::pair<int, Slab>>>(std::move(in));
+  return PendingExchange([&ctx, &dst, stage, hs, slabs, dim, ud, d_off,
+                          d_stride, fuse_halo] {
+    ctx.wait_all(std::span<CommHandle>(*hs));
+    double unpacked = 0;
+    for (std::size_t i = 0; i < slabs->size(); ++i) {
+      const Slab& slab = (*slabs)[i].second;
+      const std::vector<T>& vals = (*stage)[i];
+      Box<R> e = slab.b;  // payload size check before unpacking
+      e.lo[ud] = slab.t.lo;
+      e.hi[ud] = slab.t.hi;
+      KALI_CHECK(vals.size() == static_cast<std::size_t>(e.volume()),
+                 "copy_strided_dim: slab size mismatch");
+      std::size_t k = 0;
+      for_each_strided_in_box(slab.b, slab.t, dim, d_off, d_stride,
+                              [&](GIndex<R> g) {
+                                if (fuse_halo) {
+                                  dst.frame(g) = vals[k++];
+                                } else {
+                                  dst.at(g) = vals[k++];
+                                }
+                              });
+      unpacked += static_cast<double>(k);
+    }
+    ctx.compute(unpacked);
+  });
+}
+
 }  // namespace detail
+
+/// Split-phase copy_strided_dim (box layouts only): sends fired, receives
+/// posted, pack and self-overlap already charged inside the wire window;
+/// run the work to hide, then finish().  See PendingExchange.
+template <class T, int R>
+[[nodiscard]] PendingExchange copy_strided_dim_begin(
+    Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst, int dim,
+    int s_stride, int s_off, int d_stride, int d_off, int count,
+    IssueOrder order = IssueOrder::kRoundSchedule) {
+  return detail::strided_copy_begin(ctx, src, dst, dim, s_stride, s_off,
+                                    d_stride, d_off, count, order,
+                                    /*fuse_halo=*/false);
+}
+
+/// Split-phase copy_strided_dim_halo: the fused remap+halo transfer with
+/// its wait point exposed — mg2/mg3 post both level-switch remaps with
+/// this and drain them together after the interleaved smoothing work.
+template <class T, int R>
+[[nodiscard]] PendingExchange copy_strided_dim_halo_begin(
+    Context& ctx, const DistArray<T, R>& src, DistArray<T, R>& dst, int dim,
+    int s_stride, int s_off, int d_stride, int d_off, int count,
+    IssueOrder order = IssueOrder::kRoundSchedule) {
+  return detail::strided_copy_begin(ctx, src, dst, dim, s_stride, s_off,
+                                    d_stride, d_off, count, order,
+                                    /*fuse_halo=*/true);
+}
 
 /// The owner-binning implementation of copy_strided_dim: each side walks
 /// its own elements once, computing the unique opposite owner per element.
@@ -313,11 +498,16 @@ void copy_strided_dim_binned(Context& ctx, const DistArray<T, R>& src,
       [&] { ctx.compute(packed); }, [&] { ctx.compute(unpacked); });
 }
 
+/// Overlap::kOn routes box-eligible layouts through the split-phase form
+/// (copy_strided_dim_begin + finish back to back): identical messages and
+/// results, pack and self-overlap hidden in the wire window.  Cyclic
+/// layouts fall back to the blocking binned path either way.
 template <class T, int R>
 void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
                       DistArray<T, R>& dst, int dim, int s_stride, int s_off,
                       int d_stride, int d_off, int count,
-                      IssueOrder order = IssueOrder::kRoundSchedule) {
+                      IssueOrder order = IssueOrder::kRoundSchedule,
+                      Overlap overlap = Overlap::kOff) {
   const auto ud = static_cast<std::size_t>(dim);
   detail::check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off,
                              count);
@@ -328,6 +518,12 @@ void copy_strided_dim(Context& ctx, const DistArray<T, R>& src,
   if (!detail::box_eligible(src) || !detail::box_eligible(dst)) {
     copy_strided_dim_binned(ctx, src, dst, dim, s_stride, s_off, d_stride,
                             d_off, count, order);
+    return;
+  }
+  if (overlap == Overlap::kOn) {
+    copy_strided_dim_begin(ctx, src, dst, dim, s_stride, s_off, d_stride,
+                           d_off, count, order)
+        .finish();
     return;
   }
 
@@ -434,7 +630,14 @@ template <class T, int R>
 void copy_strided_dim_halo(Context& ctx, const DistArray<T, R>& src,
                            DistArray<T, R>& dst, int dim, int s_stride,
                            int s_off, int d_stride, int d_off, int count,
-                           IssueOrder order = IssueOrder::kRoundSchedule) {
+                           IssueOrder order = IssueOrder::kRoundSchedule,
+                           Overlap overlap = Overlap::kOff) {
+  if (overlap == Overlap::kOn) {
+    copy_strided_dim_halo_begin(ctx, src, dst, dim, s_stride, s_off, d_stride,
+                                d_off, count, order)
+        .finish();
+    return;
+  }
   const auto ud = static_cast<std::size_t>(dim);
   detail::check_strided_args(src, dst, dim, s_stride, s_off, d_stride, d_off,
                              count);

@@ -16,20 +16,32 @@ namespace {
 
 /// r = tau * (L u - f): the pseudo-time defect of u_t = L u - f, whose
 /// steady state is L u = f.  (L is negative definite, so the increment
-/// carries this sign; see the header comment.)
-void residual_scaled(const Op2& op, double tau, const DistArray2<double>& uin,
-                     const DistArray2<double>& f, DistArray2<double>& r) {
+/// carries this sign; see the header comment.)  Does u's copy-in itself:
+/// with Overlap::kOn the halo exchange runs split-phase, the interior
+/// stencil rows hiding the wire, with the boundary ring after the wait.
+void residual_scaled(const Op2& op, double tau, const DistArray2<double>& u,
+                     const DistArray2<double>& f, DistArray2<double>& r,
+                     Overlap overlap) {
   const int nx = f.extent(0), ny = f.extent(1);
   const double cx = op.cx(), cy = op.cy(), dg = op.diag();
-  doall2(
-      r, Range{0, nx - 1}, Range{0, ny - 1},
-      [&](int i, int j) {
-        const double lu = cx * (uin.at_halo({i - 1, j}) + uin.at_halo({i + 1, j})) +
-                          cy * (uin.at_halo({i, j - 1}) + uin.at_halo({i, j + 1})) +
-                          dg * uin.at_halo({i, j});
-        r(i, j) = tau * (lu - f(i, j));
-      },
-      10.0);
+  auto uin = u.clone();
+  auto body = [&](int i, int j) {
+    const double lu = cx * (uin.at_halo({i - 1, j}) + uin.at_halo({i + 1, j})) +
+                      cy * (uin.at_halo({i, j - 1}) + uin.at_halo({i, j + 1})) +
+                      dg * uin.at_halo({i, j});
+    r(i, j) = tau * (lu - f(i, j));
+  };
+  if (overlap == Overlap::kOn) {
+    auto ex = uin.exchange_halo_begin();
+    doall2_ring(uin, Range{0, nx - 1}, Range{0, ny - 1}, 1, Ring::kInterior,
+                body, 10.0);
+    ex.finish();
+    doall2_ring(uin, Range{0, nx - 1}, Range{0, ny - 1}, 1, Ring::kBoundary,
+                body, 10.0);
+  } else {
+    uin.exchange_halo();
+    doall2(r, Range{0, nx - 1}, Range{0, ny - 1}, body, 10.0);
+  }
 }
 
 /// The view's members as a 1-D line view (transpose mode redistributes
@@ -80,8 +92,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
   D2 r(ctx, u.view(), {nx, ny}, dists);
   D2 w(ctx, u.view(), {nx, ny}, dists);
 
-  auto uin = u.copy_in();
-  residual_scaled(op, tau, uin, f, r);
+  residual_scaled(op, tau, u, f, r, opts.overlap);
 
   // Tridiagonal coefficients of (I - tau L2) and (I - tau L1).
   const double oy = -tau * op.cy();
@@ -104,7 +115,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
 
     // Each line is fully read into fline before its solution is written, so
     // both sweeps can land in place — two transposed temporaries suffice.
-    redistribute(ctx, r, rrows);
+    redistribute(ctx, r, rrows, IssueOrder::kRoundSchedule, opts.overlap);
     std::vector<double> fline(static_cast<std::size_t>(ny));
     std::vector<double> xline(static_cast<std::size_t>(ny));
     for (int i : rrows.owned(0)) {
@@ -117,7 +128,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
         rrows(i, j) = xline[static_cast<std::size_t>(j)];
       }
     }
-    redistribute(ctx, rrows, vcols);
+    redistribute(ctx, rrows, vcols, IssueOrder::kRoundSchedule, opts.overlap);
     fline.resize(static_cast<std::size_t>(nx));
     xline.resize(static_cast<std::size_t>(nx));
     for (int j : vcols.owned(1)) {
@@ -130,7 +141,7 @@ void adi_iterate(const AdiOptions& opts, DistArray2<double>& u,
         vcols(i, j) = xline[static_cast<std::size_t>(i)];
       }
     }
-    redistribute(ctx, vcols, w);
+    redistribute(ctx, vcols, w, IssueOrder::kRoundSchedule, opts.overlap);
   } else if (!opts.pipelined) {
     // Listing 7: perform tridiagonal solves in the y direction ...
     D2 v(ctx, u.view(), {nx, ny}, dists);

@@ -18,7 +18,8 @@ bool coarsenable(int npts, int nprocs) {
 }  // namespace detail
 
 void mg2_zebra_sweep(const Op2& op, DistArray2<double>& u,
-                     const DistArray2<double>& f, int parity) {
+                     const DistArray2<double>& f, int parity,
+                     Overlap overlap) {
   if (!u.participating()) {
     return;
   }
@@ -26,43 +27,64 @@ void mg2_zebra_sweep(const Op2& op, DistArray2<double>& u,
   const int nx = u.extent(0) - 1;
   const int ny = u.extent(1) - 1;
   const double cx = op.cx(), cy = op.cy(), dg = op.diag();
-  u.exchange_halo();  // lines of the other colour feed the right-hand side
 
   const int first = parity == 0 ? 2 : 1;
+  const Range lines{first, ny - 1, 2};
   std::vector<double> rhs(static_cast<std::size_t>(nx - 1));
   std::vector<double> sol(rhs.size());
-  doall_slice_owner(
-      u, 1, Range{first, ny - 1, 2},
-      [&](int j) {
-        // Line system along x:  cx u(i-1,j) + dg u(i,j) + cx u(i+1,j) = rhs.
-        for (int i = 1; i <= nx - 1; ++i) {
-          rhs[static_cast<std::size_t>(i - 1)] =
-              f(i, j) - cy * (u.at_halo({i, j - 1}) + u.at_halo({i, j + 1}));
-        }
-        thomas_solve_const(cx, dg, cx, rhs, sol);
-        for (int i = 1; i <= nx - 1; ++i) {
-          u(i, j) = sol[static_cast<std::size_t>(i - 1)];
-        }
-        ctx.compute((kThomasFlopsPerRow + 4.0) * (nx - 1));
-      });
+  auto solve_line = [&](int j) {
+    // Line system along x:  cx u(i-1,j) + dg u(i,j) + cx u(i+1,j) = rhs.
+    for (int i = 1; i <= nx - 1; ++i) {
+      rhs[static_cast<std::size_t>(i - 1)] =
+          f(i, j) - cy * (u.at_halo({i, j - 1}) + u.at_halo({i, j + 1}));
+    }
+    thomas_solve_const(cx, dg, cx, rhs, sol);
+    for (int i = 1; i <= nx - 1; ++i) {
+      u(i, j) = sol[static_cast<std::size_t>(i - 1)];
+    }
+    ctx.compute((kThomasFlopsPerRow + 4.0) * (nx - 1));
+  };
+  // Lines of the other colour feed the right-hand side; this colour's
+  // lines never read each other, so the solve order is free.
+  if (overlap == Overlap::kOn) {
+    auto ex = u.exchange_halo_begin();
+    doall_slice_ring(u, 1, lines, 1, Ring::kInterior, solve_line);
+    ex.finish();
+    doall_slice_ring(u, 1, lines, 1, Ring::kBoundary, solve_line);
+  } else {
+    u.exchange_halo();
+    doall_slice_owner(u, 1, lines, solve_line);
+  }
 }
 
 namespace {
 
-/// r = f - A u on interior points (r's boundary stays zero).
-void resid2(const Op2& op, const DistArray2<double>& uin,
-            const DistArray2<double>& f, DistArray2<double>& r) {
+/// r = f - A u on interior points (r's boundary stays zero).  Does u's
+/// copy-in itself; Overlap::kOn runs the halo split-phase with the interior
+/// stencil between post and wait.
+void resid2(const Op2& op, const DistArray2<double>& u,
+            const DistArray2<double>& f, DistArray2<double>& r,
+            Overlap overlap) {
   const int nx = f.extent(0) - 1, ny = f.extent(1) - 1;
   const double cx = op.cx(), cy = op.cy(), dg = op.diag();
-  doall2(
-      r, Range{1, nx - 1}, Range{1, ny - 1},
-      [&](int i, int j) {
-        const double au = cx * (uin.at_halo({i - 1, j}) + uin.at_halo({i + 1, j})) +
-                          cy * (uin.at_halo({i, j - 1}) + uin.at_halo({i, j + 1})) +
-                          dg * uin.at_halo({i, j});
-        r(i, j) = f(i, j) - au;
-      },
-      10.0);
+  auto uin = u.clone();
+  auto body = [&](int i, int j) {
+    const double au = cx * (uin.at_halo({i - 1, j}) + uin.at_halo({i + 1, j})) +
+                      cy * (uin.at_halo({i, j - 1}) + uin.at_halo({i, j + 1})) +
+                      dg * uin.at_halo({i, j});
+    r(i, j) = f(i, j) - au;
+  };
+  if (overlap == Overlap::kOn) {
+    auto ex = uin.exchange_halo_begin();
+    doall2_ring(uin, Range{1, nx - 1}, Range{1, ny - 1}, 1, Ring::kInterior,
+                body, 10.0);
+    ex.finish();
+    doall2_ring(uin, Range{1, nx - 1}, Range{1, ny - 1}, 1, Ring::kBoundary,
+                body, 10.0);
+  } else {
+    uin.exchange_halo();
+    doall2(r, Range{1, nx - 1}, Range{1, ny - 1}, body, 10.0);
+  }
 }
 
 }  // namespace
@@ -97,14 +119,14 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
   const int ny = u.extent(1) - 1;
 
   // perform zebra relaxation on even lines, then odd lines
-  mg2_zebra_sweep(op, u, f, 0);
-  mg2_zebra_sweep(op, u, f, 1);
+  mg2_zebra_sweep(op, u, f, 0, opts.overlap);
+  mg2_zebra_sweep(op, u, f, 1, opts.overlap);
 
   if (ny <= 2) {
     // Coarsest grid: the zebra sweep solves the single interior line
     // exactly; a few extra sweeps polish the x-y coupling.
     for (int s = 0; s < opts.coarsest_sweeps; ++s) {
-      mg2_zebra_sweep(op, u, f, 1);
+      mg2_zebra_sweep(op, u, f, 1, opts.overlap);
     }
     return;
   }
@@ -118,18 +140,17 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
     // the correction problem A v = r onto one processor and run the
     // remaining levels there (standard practice on distributed memory).
     D2 r(ctx, pv, {nx + 1, ny + 1}, dists, {0, 1});
-    auto uin = u.copy_in();
-    resid2(op, uin, f, r);
+    resid2(op, u, f, r, opts.overlap);
     ProcView pv1 = ProcView::grid1(1, pv.rank_of1(0));
     const typename D2::Dists dists1{DimDist::star(), DimDist::block_dist()};
     D2 r1(ctx, pv1, {nx + 1, ny + 1}, dists1);
-    redistribute(ctx, r, r1, opts.remap_order);
+    redistribute(ctx, r, r1, opts.remap_order, opts.overlap);
     D2 v1(ctx, pv1, {nx + 1, ny + 1}, dists1, {0, 1});
     if (v1.participating()) {
       mg2_cycle(op, v1, r1, opts);
     }
     D2 v(ctx, pv, {nx + 1, ny + 1}, dists);
-    redistribute(ctx, v1, v, opts.remap_order);
+    redistribute(ctx, v1, v, opts.remap_order, opts.overlap);
     doall2(
         u, Range{1, nx - 1}, Range{1, ny - 1},
         [&](int i, int j) { u(i, j) += v(i, j); }, 1.0);
@@ -137,8 +158,7 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
   }
 
   D2 r(ctx, pv, {nx + 1, ny + 1}, dists, {0, 1});
-  auto uin = u.copy_in();
-  resid2(op, uin, f, r);
+  resid2(op, u, f, r, opts.overlap);
 
   // rest2: full weighting in y at even fine lines, injected to coarse.
   D2 g(ctx, pv, {nx + 1, nyc + 1}, dists);
@@ -152,11 +172,28 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
     // g(i,K) = 0.25 r(2K-1) + 0.5 r(2K) + 0.25 r(2K+1) in the same
     // operation order as the unfused path, so the solution is bit-identical.
     D2 re(ctx, pv, {nx + 1, nyc + 1}, dists);
-    copy_strided_dim(ctx, r, re, 1, /*s_stride=*/2, /*s_off=*/0,
-                     /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
     D2 ro(ctx, pv, {nx + 1, nyc + 1}, dists, {0, 1});
-    copy_strided_dim_halo(ctx, r, ro, 1, /*s_stride=*/2, /*s_off=*/1,
-                          /*d_stride=*/1, /*d_off=*/0, nyc, opts.remap_order);
+    if (opts.overlap == Overlap::kOn) {
+      // Pipeline the two level remaps: post re's receives and sends, then
+      // ro's — re's wire drains while ro packs and both self-overlaps
+      // copy — and drain them back to back.  Per (src, dst) lane the
+      // kTagRemap messages still travel and match in re-then-ro order.
+      auto ex_re =
+          copy_strided_dim_begin(ctx, r, re, 1, /*s_stride=*/2, /*s_off=*/0,
+                                 /*d_stride=*/1, /*d_off=*/0, nyc + 1,
+                                 opts.remap_order);
+      auto ex_ro = copy_strided_dim_halo_begin(
+          ctx, r, ro, 1, /*s_stride=*/2, /*s_off=*/1,
+          /*d_stride=*/1, /*d_off=*/0, nyc, opts.remap_order);
+      ex_re.finish();
+      ex_ro.finish();
+    } else {
+      copy_strided_dim(ctx, r, re, 1, /*s_stride=*/2, /*s_off=*/0,
+                       /*d_stride=*/1, /*d_off=*/0, nyc + 1, opts.remap_order);
+      copy_strided_dim_halo(ctx, r, ro, 1, /*s_stride=*/2, /*s_off=*/1,
+                            /*d_stride=*/1, /*d_off=*/0, nyc,
+                            opts.remap_order);
+    }
     doall2(
         g, Range{1, nx - 1}, Range{1, nyc - 1},
         [&](int i, int K) {
@@ -188,18 +225,27 @@ void mg2_cycle(const Op2& op, DistArray2<double>& u, const DistArray2<double>& f
   // themselves — one redistribution per level switch instead of a remap
   // round plus a halo round.
   D2 vtmp(ctx, pv, {nx + 1, ny + 1}, dists, {0, 1});
+  auto even_update = [&](int i, int j) { u(i, j) += vtmp(i, j); };
   if (opts.fused_level_remap) {
     copy_strided_dim_halo(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
                           /*d_stride=*/2, /*d_off=*/0, nyc + 1,
-                          opts.remap_order);
+                          opts.remap_order, opts.overlap);
+    doall2(u, Range{1, nx - 1}, Range{2, ny - 2, 2}, even_update, 1.0);
+  } else if (opts.overlap == Overlap::kOn) {
+    // The even-line correction reads only vtmp's owned cells, so it rides
+    // inside the separate halo exchange's wire window.
+    copy_strided_dim(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
+                     /*d_stride=*/2, /*d_off=*/0, nyc + 1, opts.remap_order,
+                     opts.overlap);
+    auto ex = vtmp.exchange_halo_begin();
+    doall2(u, Range{1, nx - 1}, Range{2, ny - 2, 2}, even_update, 1.0);
+    ex.finish();
   } else {
     copy_strided_dim(ctx, v, vtmp, 1, /*s_stride=*/1, /*s_off=*/0,
                      /*d_stride=*/2, /*d_off=*/0, nyc + 1, opts.remap_order);
     vtmp.exchange_halo();
+    doall2(u, Range{1, nx - 1}, Range{2, ny - 2, 2}, even_update, 1.0);
   }
-  doall2(
-      u, Range{1, nx - 1}, Range{2, ny - 2, 2},
-      [&](int i, int j) { u(i, j) += vtmp(i, j); }, 1.0);
   doall2(
       u, Range{1, nx - 1}, Range{1, ny - 1, 2},
       [&](int i, int j) {

@@ -11,22 +11,35 @@ namespace kali {
 
 namespace {
 
-/// r = f - A u on interior points; r's boundary planes stay zero.
-void resid3(const Op3& op, const DistArray3<double>& uin,
-            const DistArray3<double>& f, DistArray3<double>& r) {
+/// r = f - A u on interior points; r's boundary planes stay zero.  Does u's
+/// copy-in itself: with Overlap::kOn the halo exchange runs split-phase, the
+/// interior stencil cells hiding the wire, with the boundary ring after the
+/// wait.
+void resid3(const Op3& op, const DistArray3<double>& u,
+            const DistArray3<double>& f, DistArray3<double>& r,
+            Overlap overlap) {
   const int nx = f.extent(0) - 1, ny = f.extent(1) - 1, nz = f.extent(2) - 1;
   const double cx = op.cx(), cy = op.cy(), cz = op.cz(), dg = op.diag();
-  doall3(
-      r, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1},
-      [&](int i, int j, int k) {
-        const double au =
-            cx * (uin.at_halo({i - 1, j, k}) + uin.at_halo({i + 1, j, k})) +
-            cy * (uin.at_halo({i, j - 1, k}) + uin.at_halo({i, j + 1, k})) +
-            cz * (uin.at_halo({i, j, k - 1}) + uin.at_halo({i, j, k + 1})) +
-            dg * uin.at_halo({i, j, k});
-        r(i, j, k) = f(i, j, k) - au;
-      },
-      14.0);
+  auto uin = u.clone();
+  auto body = [&](int i, int j, int k) {
+    const double au =
+        cx * (uin.at_halo({i - 1, j, k}) + uin.at_halo({i + 1, j, k})) +
+        cy * (uin.at_halo({i, j - 1, k}) + uin.at_halo({i, j + 1, k})) +
+        cz * (uin.at_halo({i, j, k - 1}) + uin.at_halo({i, j, k + 1})) +
+        dg * uin.at_halo({i, j, k});
+    r(i, j, k) = f(i, j, k) - au;
+  };
+  if (overlap == Overlap::kOn) {
+    auto ex = uin.exchange_halo_begin();
+    doall3_ring(uin, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1}, 1,
+                Ring::kInterior, body, 14.0);
+    ex.finish();
+    doall3_ring(uin, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1}, 1,
+                Ring::kBoundary, body, 14.0);
+  } else {
+    uin.exchange_halo();
+    doall3(r, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1}, body, 14.0);
+  }
 }
 
 }  // namespace
@@ -47,8 +60,7 @@ void mg3_zebra_sweep(const Op3& op, DistArray3<double>& u,
   const typename D3::Dists dists3{DimDist::star(), DimDist::block_dist(),
                                   DimDist::block_dist()};
   D3 r(ctx, u.view(), {nx + 1, ny + 1, nz + 1}, dists3, {0, 1, 0});
-  auto uin = u.copy_in();
-  resid3(op, uin, f, r);
+  resid3(op, u, f, r, opts.overlap);
 
   const Op2 pop = op.plane_op();
   const int first = parity == 0 ? 2 : 1;
@@ -120,11 +132,10 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
     // Agglomerate the correction problem onto the first processor column
     // (z becomes single-owner; y stays distributed) and continue there.
     D3 r(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3);
-    auto uin0 = u.copy_in();
-    resid3(op, uin0, f, r);
+    resid3(op, u, f, r, opts.overlap);
     ProcView pvz = pv.sub(1, 0, 1);
     D3 r1(ctx, pvz, {nx + 1, ny + 1, nz + 1}, dists3);
-    redistribute(ctx, r, r1, opts.remap_order);
+    redistribute(ctx, r, r1, opts.remap_order, opts.overlap);
     D3 v1(ctx, pvz, {nx + 1, ny + 1, nz + 1}, dists3, {0, 1, 1});
     if (v1.participating()) {
       for (int c = 0; c < opts.gamma; ++c) {
@@ -132,15 +143,14 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
       }
     }
     D3 v(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3);
-    redistribute(ctx, v1, v, opts.remap_order);
+    redistribute(ctx, v1, v, opts.remap_order, opts.overlap);
     doall3(
         u, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1},
         [&](int i, int j, int k) { u(i, j, k) += v(i, j, k); }, 1.0);
     return;
   }
   D3 r(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3, {0, 0, 1});
-  auto uin = u.copy_in();
-  resid3(op, uin, f, r);
+  resid3(op, u, f, r, opts.overlap);
 
   // rest3: full weighting in z at even fine planes, injected to coarse.
   D3 g(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3);
@@ -152,11 +162,26 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
     // halo exchange of r and no full-size gtmp.  The weighting runs in the
     // unfused path's operation order, so the solution is bit-identical.
     D3 re(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3);
-    copy_strided_dim(ctx, r, re, 2, /*s_stride=*/2, /*s_off=*/0,
-                     /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
     D3 ro(ctx, pv, {nx + 1, ny + 1, nzc + 1}, dists3, {0, 0, 1});
-    copy_strided_dim_halo(ctx, r, ro, 2, /*s_stride=*/2, /*s_off=*/1,
-                          /*d_stride=*/1, /*d_off=*/0, nzc, opts.remap_order);
+    if (opts.overlap == Overlap::kOn) {
+      // Pipeline the two level remaps: post re's then ro's messages before
+      // draining either.  Lane FIFO keeps each (src, dst, kTagRemap) lane's
+      // re slab ahead of its ro slab, matching the blocking order.
+      auto ex_re =
+          copy_strided_dim_begin(ctx, r, re, 2, /*s_stride=*/2, /*s_off=*/0,
+                                 /*d_stride=*/1, /*d_off=*/0, nzc + 1,
+                                 opts.remap_order);
+      auto ex_ro = copy_strided_dim_halo_begin(
+          ctx, r, ro, 2, /*s_stride=*/2, /*s_off=*/1,
+          /*d_stride=*/1, /*d_off=*/0, nzc, opts.remap_order);
+      ex_re.finish();
+      ex_ro.finish();
+    } else {
+      copy_strided_dim(ctx, r, re, 2, /*s_stride=*/2, /*s_off=*/0,
+                       /*d_stride=*/1, /*d_off=*/0, nzc + 1, opts.remap_order);
+      copy_strided_dim_halo(ctx, r, ro, 2, /*s_stride=*/2, /*s_off=*/1,
+                            /*d_stride=*/1, /*d_off=*/0, nzc, opts.remap_order);
+    }
     doall3(
         g, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nzc - 1},
         [&](int i, int j, int K) {
@@ -190,18 +215,31 @@ void mg3_cycle(const Op3& op, DistArray3<double>& u, const DistArray3<double>& f
   // path delivers vtmp's even-plane ghosts in the remap messages — one
   // redistribution per level switch instead of remap + halo rounds.
   D3 vtmp(ctx, pv, {nx + 1, ny + 1, nz + 1}, dists3, {0, 0, 1});
+  auto even_update = [&](int i, int j, int k) { u(i, j, k) += vtmp(i, j, k); };
   if (opts.fused_level_remap) {
     copy_strided_dim_halo(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
                           /*d_stride=*/2, /*d_off=*/0, nzc + 1,
-                          opts.remap_order);
+                          opts.remap_order, opts.overlap);
+    doall3(u, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
+           even_update, 1.0);
+  } else if (opts.overlap == Overlap::kOn) {
+    copy_strided_dim(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
+                     /*d_stride=*/2, /*d_off=*/0, nzc + 1, opts.remap_order,
+                     opts.overlap);
+    // The even-plane correction reads only owned vtmp cells, so it can run
+    // while the z-halo is in flight; the odd planes (which read the ghosts)
+    // follow the wait.
+    auto ex = vtmp.exchange_halo_begin();
+    doall3(u, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
+           even_update, 1.0);
+    ex.finish();
   } else {
     copy_strided_dim(ctx, v, vtmp, 2, /*s_stride=*/1, /*s_off=*/0,
                      /*d_stride=*/2, /*d_off=*/0, nzc + 1, opts.remap_order);
     vtmp.exchange_halo();
+    doall3(u, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
+           even_update, 1.0);
   }
-  doall3(
-      u, Range{1, nx - 1}, Range{1, ny - 1}, Range{2, nz - 2, 2},
-      [&](int i, int j, int k) { u(i, j, k) += vtmp(i, j, k); }, 1.0);
   doall3(
       u, Range{1, nx - 1}, Range{1, ny - 1}, Range{1, nz - 1, 2},
       [&](int i, int j, int k) {

@@ -26,6 +26,14 @@ struct Mg3Options {
   bool fused_level_remap = true;
   /// Issue order for level-switch remap/redistribute messages.
   IssueOrder remap_order = IssueOrder::kRoundSchedule;
+  /// kOn overlaps communication with compute (see Mg2Options::overlap): the
+  /// residuals run their halo exchange split-phase with the interior
+  /// stencil planes between post and wait, the fused restriction posts both
+  /// z-level remaps before draining either, and the interpolation remap
+  /// hides pack and self-overlap inside the wire window.  Results are
+  /// bit-identical to kOff.  The inner plane solver's overlap is set
+  /// separately via plane_mg2.overlap.
+  Overlap overlap = Overlap::kOff;
 };
 
 /// One V-cycle on A u = f.  Collective over u's 2-D view.

@@ -118,6 +118,40 @@ TEST(Deadlock, QueuedMatchKeepsWaiterAliveWhenSenderRetires) {
   });
 }
 
+TEST(Deadlock, WaitOnNeverSentIrecvDiagnosedByGraph) {
+  // A nonblocking receive whose message is never sent deadlocks at the
+  // wait(), not at the post: CommHandle::wait publishes the same wait-for
+  // edge a blocking recv does, so the graph check diagnoses it instantly
+  // (recv_timeout_wall stays a far fallback that must not be what fires).
+  Machine m(2, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int got = 0;
+      CommHandle h = ctx.irecv<int>(1, /*tag=*/5, got);
+      ctx.wait(h);  // rank 1 returns without sending: provably dead
+    }
+    // rank 1 returns immediately.
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  EXPECT_NE(what.find("STUCK in recv(src=1, tag=5"), std::string::npos)
+      << what;
+  EXPECT_EQ(what.find("timed out"), std::string::npos) << what;
+}
+
+TEST(Deadlock, WaitAllCycleDiagnosedByGraph) {
+  // Both ranks post irecvs for each other and wait before either sends —
+  // the async version of the classic two-rank cycle.
+  Machine m(2, quiet_config());
+  const std::string what = run_expecting_error(m, [](Context& ctx) {
+    int got = 0;
+    CommHandle h = ctx.irecv<int>(1 - ctx.rank(), /*tag=*/6, got);
+    ctx.wait(h);
+    ctx.send<int>(1 - ctx.rank(), /*tag=*/6, 1);  // too late, never reached
+  });
+  EXPECT_NE(what.find("wait-for-graph"), std::string::npos) << what;
+  EXPECT_NE(what.find("STUCK"), std::string::npos) << what;
+}
+
 TEST(Deadlock, DisabledDetectionFallsBackToWallClockTimeout) {
   MachineConfig cfg;
   cfg.deadlock_detection = false;

@@ -255,6 +255,50 @@ TEST(Invariants, BalancedTrafficPassesBothLeakChecks) {
   EXPECT_TRUE(m.stats().unmatched_by_tag().empty());
 }
 
+TEST(Invariants, DroppedIrecvHandleDiagnosedAtReturn) {
+  // An irecv whose handle is dropped without wait() is a leak even when the
+  // matching message eventually arrives: the destination span may dangle
+  // and the completion algebra never ran.  The invariant names the pending
+  // operation when the rank program returns.
+  SKIP_WITHOUT_INVARIANTS();
+  Machine m(2, quiet_config());
+  try {
+    m.run([&](Context& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, /*tag=*/5, 3.0);
+      } else {
+        double got = 0.0;
+        CommHandle h = ctx.irecv<double>(0, 5, got);
+        (void)h;  // dropped: never waited
+      }
+    });
+    ADD_FAILURE() << "leaked handle not diagnosed";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nonblocking operation never completed"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("tag=5"), std::string::npos) << what;
+  }
+}
+
+TEST(Invariants, WaitedHandlePassesTheLeakCheck) {
+  // Regression guard in both build modes: a properly waited irecv leaves no
+  // pending-operation residue for the teardown check to trip on.
+  Machine m(2, quiet_config());
+  m.run([&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, /*tag=*/5, 3.0);
+    } else {
+      double got = 0.0;
+      CommHandle h = ctx.irecv<double>(0, 5, got);
+      ctx.wait(h);
+      EXPECT_EQ(got, 3.0);
+    }
+  });
+  EXPECT_TRUE(m.stats().unmatched_by_tag().empty());
+}
+
 TEST(Invariants, BarrierSeparatedPhasesPassTheStraddleCheck) {
   // Regression guard: a well-phased program (all traffic quiesced before
   // each sync_clocks, fresh traffic after) is legal in both build modes.

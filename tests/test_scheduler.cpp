@@ -96,6 +96,8 @@ void expect_counters_identical(const ProcCounters& a, const ProcCounters& b,
   EXPECT_EQ(a.recv_by_tag, b.recv_by_tag);
   EXPECT_EQ(a.self_msgs_by_tag, b.self_msgs_by_tag);
   EXPECT_EQ(a.edge_msgs, b.edge_msgs);
+  EXPECT_EQ(a.overlap_wire_time, b.overlap_wire_time);
+  EXPECT_EQ(a.overlap_hidden_time, b.overlap_hidden_time);
 }
 
 TEST(FiberScheduler, ResultsBitIdenticalAcrossWorkerCounts) {

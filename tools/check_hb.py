@@ -29,10 +29,12 @@ the actor-local sequence number, dense from 0 per actor):
     qrun   <actor> <aseq> <gen>
     qrel   <actor> <aseq> <gen>
     qleave <actor> <aseq> <gen>
+    ipost  <actor> <aseq> <opid>
+    icomp  <actor> <aseq> <opid>
     r      <actor> <aseq> <obj>:<owner>
     w      <actor> <aseq> <obj>:<owner>
 
-with <obj> one of clock, link, ledger, ctr, epoch, mbox.
+with <obj> one of clock, link, ledger, ctr, epoch, mbox, buf.
 
 Happens-before edges:
   - program order within each actor (aseq ascending);
@@ -40,7 +42,15 @@ Happens-before edges:
   - wake (target, parkseq) -> woken (target, parkseq) on the target;
   - every qenter(gen) -> the qrun(gen) (the quiesce leader saw every
     peer suspended before running the critical section);
-  - qrel(gen) -> every qleave(gen) (peers resume only after release).
+  - qrel(gen) -> every qleave(gen) (peers resume only after release);
+  - ipost (actor, opid) -> icomp (actor, opid): a nonblocking
+    operation's in-flight window (machine/hb.hpp post/complete).  An
+    ipost with no matching icomp is a leaked handle (the runtime
+    diagnoses the same condition at rank return under
+    KALI_CHECK_INVARIANTS); duplicates of either end are dangling-edge
+    findings.  The completion's buffer fill is a `w buf:<rank>` access,
+    so compute reading an in-flight irecv buffer without an ordering
+    edge to the completion is an unordered-read-write.
 
 Rules (all self-tested against tools/hb_fixtures; `--list-rules` prints
 this table, docs/static-analysis.md embeds it):
@@ -83,12 +93,13 @@ RULES = {
                             "happens-before",
 }
 
-OBJS = {"clock", "link", "ledger", "ctr", "epoch", "mbox"}
+OBJS = {"clock", "link", "ledger", "ctr", "epoch", "mbox", "buf"}
 
 # kind -> number of argument fields after "<kind> <actor> <aseq>"
 ARITY = {
     "send": 2, "recv": 2, "park": 1, "wake": 2, "woken": 1,
-    "qenter": 1, "qrun": 1, "qrel": 1, "qleave": 1, "r": 1, "w": 1,
+    "qenter": 1, "qrun": 1, "qrel": 1, "qleave": 1,
+    "ipost": 1, "icomp": 1, "r": 1, "w": 1,
 }
 
 
@@ -213,6 +224,8 @@ def build_edges(path: Path, actors, findings: list[Finding]):
     qenters: dict[int, list[Event]] = {}
     qruns: dict[int, Event] = {}
     qrels: dict[int, Event] = {}
+    iposts: dict[tuple[int, int], Event] = {}
+    icomps: set[tuple[int, int]] = set()
 
     def put_unique(table, key, ev, what):
         if key in table:
@@ -237,6 +250,9 @@ def build_edges(path: Path, actors, findings: list[Finding]):
                 put_unique(qruns, int(ev.args[0]), ev, "qrun")
             elif ev.kind == "qrel":
                 put_unique(qrels, int(ev.args[0]), ev, "qrel")
+            elif ev.kind == "ipost":
+                put_unique(iposts, (ev.actor, int(ev.args[0])), ev,
+                           "ipost producer")
 
     edges: list[tuple[Event, Event]] = []
     for evs in actors.values():
@@ -279,6 +295,31 @@ def build_edges(path: Path, actors, findings: list[Finding]):
                         f"qleave(gen={gen}) with no qrel"))
                 else:
                     edges.append((rel, ev))
+            elif ev.kind == "icomp":
+                key = (ev.actor, int(ev.args[0]))
+                src = iposts.get(key)
+                if src is None:
+                    findings.append(Finding(
+                        "dangling-edge", f"{path}:{ev.line}",
+                        f"icomp (actor={key[0]}, opid={key[1]}) "
+                        f"with no matching ipost"))
+                elif key in icomps:
+                    findings.append(Finding(
+                        "dangling-edge", f"{path}:{ev.line}",
+                        f"duplicate icomp for (actor={key[0]}, "
+                        f"opid={key[1]})"))
+                else:
+                    icomps.add(key)
+                    edges.append((src, ev))
+    # A posted operation never completed is a leaked handle: the in-flight
+    # window never closed, so nothing downstream can be ordered after it.
+    for key, ev in sorted(iposts.items(),
+                          key=lambda kv: kv[1].line):
+        if key not in icomps:
+            findings.append(Finding(
+                "dangling-edge", f"{path}:{ev.line}",
+                f"ipost (actor={key[0]}, opid={key[1]}) never completed "
+                f"(no matching icomp: leaked handle)"))
     return edges
 
 

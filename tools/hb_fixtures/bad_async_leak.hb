@@ -1,0 +1,12 @@
+# An ipost whose handle is dropped without a wait: the in-flight window
+# never closes, so no downstream event can be ordered after the buffer
+# fill.  The runtime diagnoses the live run at rank return under
+# KALI_CHECK_INVARIANTS ("nonblocking operation never completed");
+# offline, the analyzer flags the log's unmatched ipost.
+# HB-EXPECT: dangling-edge
+kali-hb 1 2
+send 0 0 1 0
+w 0 1 mbox:1
+ipost 1 0 3
+recv 1 1 0 0
+w 1 2 mbox:1

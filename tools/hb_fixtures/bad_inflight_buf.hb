@@ -1,0 +1,18 @@
+# Rank 0 posts an irecv and later completes it — the completion algebra
+# fills the destination buffer (w buf:0) just before icomp.  Meanwhile a
+# quiesce critical section on rank 1 (say, a ledger compaction scanning
+# live buffers) reads that buffer.  Rank 0's qenter precedes the buffer
+# fill in its program order, so the quiesce edge orders only the *post*
+# before rank 1's read: the read races the in-flight fill, and whether it
+# observes pre- or post-completion bytes depends on host scheduling.
+# HB-EXPECT: unordered-read-write
+kali-hb 1 2
+ipost 0 0 7
+qenter 0 1 0
+w 0 2 buf:0
+icomp 0 3 7
+qenter 1 0 0
+qrun 1 1 0
+r 1 2 buf:0
+qrel 1 3 0
+qleave 1 4 0

@@ -1,0 +1,15 @@
+# A clean nonblocking roundtrip at P=2: rank 1 posts an irecv, rank 0's
+# send lands in the mailbox, rank 1 computes through the window, then
+# waits — the completion fills the buffer (w buf:1) before icomp, and
+# the subsequent read of the buffer is program-ordered after the fill.
+# Must analyze clean.
+kali-hb 1 2
+send 0 0 1 0
+w 0 1 mbox:1
+ipost 1 0 5
+w 1 1 ctr:1
+recv 1 2 0 0
+w 1 3 mbox:1
+w 1 4 buf:1
+icomp 1 5 5
+r 1 6 buf:1
